@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Figure 3: the benchmark characterization.
+ *
+ *  (a) OpenCL API call breakdown (% kernel / synchronization /
+ *      other) per application, measured on the host by the
+ *      CoFluent-style tracer;
+ *  (b) static GPU program structures (unique kernels, unique basic
+ *      blocks), measured by GT-Pin;
+ *  (c) dynamic GPU work (kernel invocations, basic-block executions,
+ *      dynamic instructions), measured by GT-Pin.
+ *
+ * Paper reference points: total API calls range from ~700 to over
+ * 160K; kernel calls average ~15% (bitcoin 4.5%, part-sim-32K
+ * 76.5%); sync calls average 6.8% (juliaset 25.7%); 1-50 unique
+ * kernels (mean 10.2); 7-11,500 unique blocks (mean 1139);
+ * invocations 55-18K+ (mean 4764); instructions 3.7 B - 2.9 T.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace gt;
+
+int
+main()
+{
+    setLogQuiet(true);
+
+    TextTable a({"application", "api calls", "kernel", "sync",
+                 "other"});
+    TextTable b({"application", "unique kernels", "unique blocks"});
+    TextTable c({"application", "invocations", "block execs",
+                 "instructions"});
+
+    RunningStat calls, frac_kernel, frac_sync;
+    RunningStat kernels, blocks;
+    RunningStat invocations, block_execs, instrs;
+
+    for (const std::string &name : bench::paperOrder()) {
+        const core::AppCharacterization &st =
+            bench::profiledApp(name).stats;
+
+        a.addRow({name, std::to_string(st.totalApiCalls),
+                  pct(st.fracKernel), pct(st.fracSync),
+                  pct(st.fracOther)});
+        b.addRow({name, std::to_string(st.uniqueKernels),
+                  std::to_string(st.uniqueBlocks)});
+        c.addRow({name, std::to_string(st.kernelInvocations),
+                  humanCount((double)st.blockExecs),
+                  humanCount((double)st.dynInstrs)});
+
+        calls.add((double)st.totalApiCalls);
+        frac_kernel.add(st.fracKernel);
+        frac_sync.add(st.fracSync);
+        kernels.add((double)st.uniqueKernels);
+        blocks.add((double)st.uniqueBlocks);
+        invocations.add((double)st.kernelInvocations);
+        block_execs.add((double)st.blockExecs);
+        instrs.add((double)st.dynInstrs);
+    }
+
+    a.addSeparator();
+    a.addRow({"AVERAGE", fixed(calls.mean(), 0),
+              pct(frac_kernel.mean()), pct(frac_sync.mean()),
+              pct(1.0 - frac_kernel.mean() - frac_sync.mean())});
+    b.addSeparator();
+    b.addRow({"AVERAGE", fixed(kernels.mean(), 1),
+              fixed(blocks.mean(), 0)});
+    c.addSeparator();
+    c.addRow({"AVERAGE", fixed(invocations.mean(), 0),
+              humanCount(block_execs.mean()),
+              humanCount(instrs.mean())});
+
+    a.print(std::cout, "Fig. 3a: OpenCL API call breakdown");
+    std::cout << "paper: calls 703..160K+; kernel ~15% avg "
+                 "(bitcoin 4.5%, part-sim-32K 76.5%);\n"
+                 "sync 6.8% avg (juliaset 25.7%)\n\n";
+    b.print(std::cout, "Fig. 3b: GPU program structures");
+    std::cout << "paper: 1-50 unique kernels (mean 10.2); "
+                 "7-11,500 unique blocks (mean 1139)\n\n";
+    c.print(std::cout, "Fig. 3c: dynamic GPU work");
+    std::cout << "paper: invocations 55-18K+ (mean 4764); block "
+                 "execs 44M-180B (mean 13B);\n"
+                 "instructions 3.7B-2.9T (mean 227B)\n";
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces Figure 5: the feature and division space exploration.
+ *
+ * For the paper's three sample applications (physics-ocean-surf,
+ * crypt-aes128, press-proj-r3) prints performance error and
+ * selection size for all 30 interval/feature configurations; then
+ * reproduces the Section V-B summary: the best single universal
+ * configuration across all 25 applications (the paper finds
+ * sync-bounded intervals + BB features: 1.5% average error, 1.9%
+ * average selection => 53x speedup; worst case 8.8% error / 24.0%
+ * selection).
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace gt;
+
+int
+main()
+{
+    setLogQuiet(true);
+
+    const std::vector<std::string> samples = {
+        "cb-physics-ocean-surf", "sandra-crypt-aes128",
+        "sonyvegas-proj-r3"};
+
+    for (const std::string &name : samples) {
+        const core::Exploration &ex = bench::exploration(name);
+        TextTable table({"intervals", "features", "error",
+                         "selection size", "speedup"});
+        for (int s = 0; s < core::numIntervalSchemes; ++s) {
+            for (int f = 0; f < core::numFeatureKinds; ++f) {
+                const core::ConfigResult &r = ex.result(
+                    (core::IntervalScheme)s, (core::FeatureKind)f);
+                table.addRow(
+                    {core::intervalSchemeName(
+                         (core::IntervalScheme)s),
+                     core::featureKindName((core::FeatureKind)f),
+                     pct(r.errorPct / 100.0, 2),
+                     pct(r.selection.selectionFraction(), 2),
+                     fixed(r.selection.speedup(), 0) + "x"});
+            }
+            if (s + 1 < core::numIntervalSchemes)
+                table.addSeparator();
+        }
+        table.print(std::cout, "Fig. 5: " + name);
+        std::cout << "\n";
+    }
+
+    // Section V-B: best universal configuration across all 25 apps.
+    std::cout << "Searching the best universal configuration over "
+                 "all 25 applications...\n";
+    double best_err = 1e9;
+    core::IntervalScheme best_s = core::IntervalScheme::SyncBounded;
+    core::FeatureKind best_f = core::FeatureKind::BB;
+    TextTable avg_table({"intervals", "features", "avg error",
+                         "avg selection", "worst error",
+                         "worst selection"});
+    for (int s = 0; s < core::numIntervalSchemes; ++s) {
+        for (int f = 0; f < core::numFeatureKinds; ++f) {
+            RunningStat err, size;
+            for (const std::string &name : bench::paperOrder()) {
+                const core::ConfigResult &r =
+                    bench::exploration(name).result(
+                        (core::IntervalScheme)s,
+                        (core::FeatureKind)f);
+                err.add(r.errorPct);
+                size.add(r.selection.selectionFraction());
+            }
+            avg_table.addRow(
+                {core::intervalSchemeName((core::IntervalScheme)s),
+                 core::featureKindName((core::FeatureKind)f),
+                 pct(err.mean() / 100.0, 2),
+                 pct(size.mean(), 2), pct(err.max() / 100.0, 1),
+                 pct(size.max(), 1)});
+            if (err.mean() < best_err) {
+                best_err = err.mean();
+                best_s = (core::IntervalScheme)s;
+                best_f = (core::FeatureKind)f;
+            }
+        }
+    }
+    avg_table.print(std::cout,
+                    "Cross-application averages per configuration");
+
+    RunningStat err, size;
+    for (const std::string &name : bench::paperOrder()) {
+        const core::ConfigResult &r =
+            bench::exploration(name).result(best_s, best_f);
+        err.add(r.errorPct);
+        size.add(r.selection.selectionFraction());
+    }
+    std::cout << "\nBest universal configuration: "
+              << core::intervalSchemeName(best_s) << " intervals + "
+              << core::featureKindName(best_f) << " features\n"
+              << "  average error " << pct(err.mean() / 100.0, 2)
+              << ", average selection " << pct(size.mean(), 2)
+              << " (=> " << fixed(1.0 / size.mean(), 0)
+              << "x simulation speedup)\n"
+              << "  worst error " << pct(err.max() / 100.0, 1)
+              << ", largest selection " << pct(size.max(), 1)
+              << "\n"
+              << "paper: sync+BB, 1.5% avg error, 1.9% selection "
+                 "(53x); worst 8.8% error, 24.0% selection\n";
+    return 0;
+}

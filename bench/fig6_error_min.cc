@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Reproduces Figure 6: per-application error-minimizing
+ * configuration choice.
+ *
+ * Each application picks, from its own 30-configuration
+ * exploration, the configuration with the smallest SPI error; the
+ * figure plots error vs. simulation speedup. Paper results: 0.3%
+ * average error, 35x average speedup (range 6x-6509x); only 5 of 25
+ * applications choose kernel-based features; interval choices split
+ * 3 single-kernel / 11 sync / 11 ~100M; memory-based features are
+ * chosen by 20 of 25. As a cross-check, the selected intervals of
+ * one sample application are run through the detailed cycle-level
+ * simulator and the extrapolated SPI is compared against detailed
+ * simulation of the full program.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "gpu/detailed_sim.hh"
+#include "workloads/templates.hh"
+
+using namespace gt;
+
+int
+main()
+{
+    setLogQuiet(true);
+
+    TextTable table({"application", "intervals", "features",
+                     "error", "speedup"});
+    RunningStat err, speedup;
+    int kernel_features = 0, memory_features = 0;
+    int by_scheme[3] = {0, 0, 0};
+
+    for (const std::string &name : bench::paperOrder()) {
+        const core::ConfigResult &best =
+            core::pickMinError(bench::exploration(name));
+        const core::SubsetSelection &sel = best.selection;
+        table.addRow({name, core::intervalSchemeName(sel.scheme),
+                      core::featureKindName(sel.feature),
+                      pct(best.errorPct / 100.0, 2),
+                      fixed(sel.speedup(), 0) + "x"});
+        err.add(best.errorPct);
+        speedup.add(sel.speedup());
+        if (!core::isBlockFeature(sel.feature))
+            ++kernel_features;
+        if (core::hasMemoryFeature(sel.feature))
+            ++memory_features;
+        ++by_scheme[(int)sel.scheme];
+    }
+
+    table.print(std::cout,
+                "Fig. 6: per-application error-minimizing "
+                "configuration");
+    std::cout << "\naverage error " << pct(err.mean() / 100.0, 2)
+              << " (worst " << pct(err.max() / 100.0, 2) << ")"
+              << ", average speedup " << fixed(speedup.mean(), 0)
+              << "x (range " << fixed(speedup.min(), 0) << "x-"
+              << fixed(speedup.max(), 0) << "x)\n"
+              << "kernel-based features chosen by "
+              << kernel_features << "/25"
+              << "; memory features by " << memory_features
+              << "/25\n"
+              << "interval choices: " << by_scheme[0] << " sync, "
+              << by_scheme[1] << " approx-n, " << by_scheme[2]
+              << " single-kernel\n"
+              << "paper: 0.3% avg error (worst 2.1%), 35x avg "
+                 "speedup (6x-6509x); 5/25 kernel\n"
+                 "features; 20/25 memory features; 11 sync / 11 "
+                 "~100M / 3 single-kernel\n\n";
+
+    // Detailed-simulator cross-check on one application: simulate
+    // only the selected intervals, extrapolate, and compare against
+    // detailed simulation of every dispatch.
+    const std::string sample = "cb-gaussian-image";
+    std::cout << "Detailed-simulation cross-check (" << sample
+              << ")...\n";
+    const core::ProfiledApp &app = bench::profiledApp(sample);
+    const core::ConfigResult &best =
+        core::pickMinError(bench::exploration(sample));
+    const core::SubsetSelection &sel = best.selection;
+
+    workloads::TemplateJit jit;
+    gpu::TrialConfig trial;
+    trial.noiseSigma = 0.0;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit, trial);
+    ocl::ClRuntime rt(driver);
+    cfl::replay(app.recording, rt);
+
+    gpu::DetailedSimulator sim(driver.config());
+    auto simulate_range = [&](uint64_t first, uint64_t last,
+                              uint64_t &instrs, double &seconds,
+                              uint64_t &walked) {
+        instrs = 0;
+        seconds = 0.0;
+        for (uint64_t d = first; d <= last; ++d) {
+            const auto &rec = app.db.dispatches()[d].profile;
+            gpu::Dispatch dispatch;
+            dispatch.binary = &driver.binary(rec.kernelId);
+            dispatch.globalSize = rec.globalWorkSize;
+            dispatch.simdWidth = 16;
+            dispatch.args = rec.args;
+            gpu::DetailedResult r =
+                sim.simulate(driver.executor(), dispatch);
+            instrs += rec.instrs;
+            seconds += r.seconds;
+            walked += r.simulatedInstrs;
+        }
+    };
+
+    // Full-program detailed simulation (feasible only because this
+    // is one of the smallest applications).
+    uint64_t full_instrs = 0, full_walked = 0;
+    double full_seconds = 0.0;
+    simulate_range(0, app.db.numDispatches() - 1, full_instrs,
+                   full_seconds, full_walked);
+    double full_spi = full_seconds / (double)full_instrs;
+
+    // Selection-only detailed simulation + extrapolation.
+    uint64_t sel_walked = 0;
+    double projected = 0.0;
+    for (size_t c = 0; c < sel.selected.size(); ++c) {
+        const core::Interval &iv = sel.intervals[sel.selected[c]];
+        uint64_t instrs = 0;
+        double seconds = 0.0;
+        simulate_range(iv.firstDispatch, iv.lastDispatch, instrs,
+                       seconds, sel_walked);
+        projected += sel.ratios[c] * (seconds / (double)instrs);
+    }
+
+    double dserr =
+        std::abs(projected - full_spi) / full_spi * 100.0;
+    std::cout << "  full detailed sim: SPI=" << full_spi
+              << " (walked " << humanCount((double)full_walked)
+              << " instrs)\n"
+              << "  subset detailed sim: projected SPI="
+              << projected << " (walked "
+              << humanCount((double)sel_walked) << " instrs)\n"
+              << "  extrapolation error " << pct(dserr / 100.0, 2)
+              << ", detailed-simulation work reduced "
+              << fixed((double)full_walked /
+                           (double)std::max<uint64_t>(1, sel_walked),
+                       0)
+              << "x\n";
+    return 0;
+}

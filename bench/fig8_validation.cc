@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Reproduces Figure 8: timed validation of one trial's selections
+ * across (top) later trials on the same machine, (middle) lower GPU
+ * frequencies, and (bottom) the next architecture generation.
+ *
+ * Method, as in Section V-E: each application is profiled once (the
+ * CoFluent-style recording is captured), its error-minimizing
+ * selection is fixed, and the recording is then replayed under the
+ * new conditions; the trial-1 selection plus ratios project the
+ * replayed trial's whole-program SPI, which is compared against the
+ * replayed trial's measured SPI.
+ *
+ * Paper: most errors below 3% in all three plots; the cross-
+ * architecture worst case is gaussian-image at 11%; LuxMark scores
+ * are 269 (HD4000) vs 351 (HD4600).
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "gpu/luxmark.hh"
+
+using namespace gt;
+
+int
+main()
+{
+    setLogQuiet(true);
+
+    const std::vector<double> freqs{1000, 850, 700, 550, 350};
+
+    TextTable trials_table(
+        {"application", "min", "avg", "max (trials 2-10)"});
+    TextTable freq_table({"application", "1000MHz", "850MHz",
+                          "700MHz", "550MHz", "350MHz"});
+    TextTable arch_table({"application", "error on HD4600"});
+
+    RunningStat all_trials, all_freqs, all_arch;
+
+    for (const std::string &name : bench::paperOrder()) {
+        const core::ProfiledApp &app = bench::profiledApp(name);
+        const core::SubsetSelection &sel =
+            core::pickMinError(bench::exploration(name)).selection;
+
+        // Top: trials 2-10 on the same machine and frequency.
+        RunningStat trial_err;
+        for (uint64_t trial_no = 2; trial_no <= 10; ++trial_no) {
+            gpu::TrialConfig t;
+            t.noiseSeed = 1000 + trial_no;
+            core::TraceDatabase db = core::replayTrial(
+                app.recording, gpu::DeviceConfig::hd4000(), t);
+            double e = core::selectionErrorPct(db, sel);
+            trial_err.add(e);
+            all_trials.add(e);
+        }
+        trials_table.addRow(
+            {name, pct(trial_err.min() / 100.0, 2),
+             pct(trial_err.mean() / 100.0, 2),
+             pct(trial_err.max() / 100.0, 2)});
+
+        // Middle: reduced GPU frequencies.
+        std::vector<std::string> cells{name};
+        for (double freq : freqs) {
+            gpu::TrialConfig t;
+            t.noiseSeed = 77;
+            t.freqMhz = freq;
+            core::TraceDatabase db = core::replayTrial(
+                app.recording, gpu::DeviceConfig::hd4000(), t);
+            double e = core::selectionErrorPct(db, sel);
+            cells.push_back(pct(e / 100.0, 2));
+            all_freqs.add(e);
+        }
+        freq_table.addRow(cells);
+
+        // Bottom: the Haswell HD4600.
+        gpu::TrialConfig t;
+        t.noiseSeed = 99;
+        core::TraceDatabase db = core::replayTrial(
+            app.recording, gpu::DeviceConfig::hd4600(), t);
+        double e = core::selectionErrorPct(db, sel);
+        arch_table.addRow({name, pct(e / 100.0, 2)});
+        all_arch.add(e);
+    }
+
+    trials_table.print(std::cout,
+                       "Fig. 8 (top): cross-trial validation");
+    std::cout << "average " << pct(all_trials.mean() / 100.0, 2)
+              << ", worst " << pct(all_trials.max() / 100.0, 2)
+              << "  (paper: mostly <3%, many <1%)\n\n";
+
+    freq_table.print(std::cout,
+                     "Fig. 8 (middle): cross-frequency validation "
+                     "(selections from 1150MHz)");
+    std::cout << "average " << pct(all_freqs.mean() / 100.0, 2)
+              << ", worst " << pct(all_freqs.max() / 100.0, 2)
+              << "  (paper: mostly <3%)\n\n";
+
+    arch_table.print(std::cout,
+                     "Fig. 8 (bottom): cross-architecture "
+                     "validation (Ivy Bridge -> Haswell)");
+    std::cout << "average " << pct(all_arch.mean() / 100.0, 2)
+              << ", worst " << pct(all_arch.max() / 100.0, 2)
+              << "  (paper: mostly <3%, worst 11% on "
+                 "gaussian-image)\n\n";
+
+    double ivb = gpu::luxmarkScore(gpu::DeviceConfig::hd4000());
+    double hsw = gpu::luxmarkScore(gpu::DeviceConfig::hd4600());
+    std::cout << "LuxMark-style scores: HD4000 " << fixed(ivb, 0)
+              << ", HD4600 " << fixed(hsw, 0)
+              << "  (paper: 269 vs 351)\n";
+    return 0;
+}

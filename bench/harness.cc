@@ -1,0 +1,51 @@
+#include "bench/harness.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace gt::bench
+{
+
+const std::vector<std::string> &
+paperOrder()
+{
+    static const std::vector<std::string> order = [] {
+        std::vector<std::string> names;
+        for (const workloads::Workload *w :
+             workloads::workloadSuite()) {
+            names.push_back(w->info().name);
+        }
+        return names;
+    }();
+    return order;
+}
+
+const core::ProfiledApp &
+profiledApp(const std::string &name)
+{
+    static std::map<std::string, core::ProfiledApp> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        const workloads::Workload *w =
+            workloads::findWorkload(name);
+        GT_ASSERT(w, "unknown workload ", name);
+        it = cache.emplace(name, core::profileApp(*w)).first;
+    }
+    return it->second;
+}
+
+const core::Exploration &
+exploration(const std::string &name)
+{
+    static std::map<std::string, core::Exploration> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        const core::ProfiledApp &app = profiledApp(name);
+        it = cache.emplace(name, core::exploreConfigs(app.db))
+                 .first;
+    }
+    return it->second;
+}
+
+} // namespace gt::bench

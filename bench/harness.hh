@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure benchmark harnesses: cached
+ * application profiling (one native run per app per process) and the
+ * paper's presentation order.
+ */
+
+#ifndef GT_BENCH_HARNESS_HH
+#define GT_BENCH_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+
+namespace gt::bench
+{
+
+/** The 25 application names in the paper's figure order. */
+const std::vector<std::string> &paperOrder();
+
+/** Profile (once per process) and return the cached result. */
+const core::ProfiledApp &profiledApp(const std::string &name);
+
+/** Run the 30-config exploration (cached per process). */
+const core::Exploration &exploration(const std::string &name);
+
+} // namespace gt::bench
+
+#endif // GT_BENCH_HARNESS_HH

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Reproduces Section III-C's overhead discussion as google-benchmark
+ * microbenchmarks:
+ *
+ *  - modeled device-time overhead of GT-Pin profiling vs. native
+ *    execution (the paper reports 2-10x, vs. up to 2,000,000x for
+ *    simulation);
+ *  - host-side cost of the profiling pipeline itself (wall time per
+ *    profiled dispatch);
+ *  - throughput of the core machinery: the functional executor's
+ *    fast mode, the binary rewriter, the k-means clusterer, and the
+ *    detailed simulator (whose slowness is the paper's motivation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.hh"
+
+#include "cfl/tracer.hh"
+#include "core/pipeline.hh"
+#include "gpu/detailed_sim.hh"
+#include "gtpin/tools.hh"
+#include "workloads/templates.hh"
+
+using namespace gt;
+
+namespace
+{
+
+/** Modeled device seconds for one run of a mid-size app. */
+double
+deviceSeconds(bool with_gtpin)
+{
+    workloads::TemplateJit jit;
+    gpu::TrialConfig trial;
+    trial.noiseSigma = 0.0;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit, trial);
+
+    gtpin::BasicBlockCounterTool bb;
+    gtpin::OpcodeMixTool mix;
+    gtpin::MemBytesTool mem;
+    gtpin::KernelTimerTool timer;
+    gtpin::GtPin pin;
+    pin.addTool(&bb);
+    pin.addTool(&mix);
+    pin.addTool(&mem);
+    pin.addTool(&timer);
+    if (with_gtpin)
+        pin.attach(driver);
+
+    ocl::ClRuntime rt(driver);
+    workloads::findWorkload("cb-gaussian-image")->run(rt);
+    double seconds = driver.deviceBusySeconds();
+    if (with_gtpin)
+        pin.detach();
+    return seconds;
+}
+
+void
+BM_GtPinDeviceOverhead(benchmark::State &state)
+{
+    setLogQuiet(true);
+    double native = 0.0, pinned = 0.0;
+    for (auto _ : state) {
+        native = deviceSeconds(false);
+        pinned = deviceSeconds(true);
+        benchmark::DoNotOptimize(pinned);
+    }
+    state.counters["overhead_x"] = pinned / native;
+    state.counters["paper_range_lo"] = 2.0;
+    state.counters["paper_range_hi"] = 10.0;
+}
+BENCHMARK(BM_GtPinDeviceOverhead)->Unit(benchmark::kMillisecond);
+
+void
+BM_ProfilingHostCost(benchmark::State &state)
+{
+    setLogQuiet(true);
+    const workloads::Workload *w =
+        workloads::findWorkload("cb-gaussian-image");
+    uint64_t dispatches = 0;
+    for (auto _ : state) {
+        core::ProfiledApp app = core::profileApp(*w);
+        dispatches = app.db.numDispatches();
+        benchmark::DoNotOptimize(app.db.totalInstrs());
+    }
+    state.counters["dispatches"] = (double)dispatches;
+    state.counters["dispatch_rate"] = benchmark::Counter(
+        (double)(dispatches * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ProfilingHostCost)->Unit(benchmark::kMillisecond);
+
+void
+BM_FastExecutorThroughput(benchmark::State &state)
+{
+    setLogQuiet(true);
+    workloads::TemplateJit jit;
+    gpu::DeviceConfig cfg = gpu::DeviceConfig::hd4000();
+    gpu::DeviceMemory mem(32 << 20);
+    gpu::Executor exec(cfg, mem);
+    isa::KernelSource src;
+    src.name = "bench";
+    src.templateName = "julia";
+    src.params = {state.range(0), 16};
+    isa::KernelBinary bin = jit.compile(src);
+    gpu::Dispatch d;
+    d.binary = &bin;
+    d.globalSize = 1 << 20;
+    d.simdWidth = 16;
+    d.args = {(uint32_t)mem.allocate(1 << 20), 0x3f000000u,
+              0x3e000000u};
+
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        gpu::ExecProfile p = exec.run(d, gpu::Executor::Mode::Fast);
+        instrs += p.dynInstrs;
+        benchmark::DoNotOptimize(p.dynInstrs);
+    }
+    state.counters["profiled_instrs_per_s"] = benchmark::Counter(
+        (double)instrs, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FastExecutorThroughput)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_DetailedSimulator(benchmark::State &state)
+{
+    setLogQuiet(true);
+    workloads::TemplateJit jit;
+    gpu::DeviceConfig cfg = gpu::DeviceConfig::hd4000();
+    gpu::DeviceMemory mem(32 << 20);
+    gpu::Executor exec(cfg, mem);
+    gpu::DetailedSimulator sim(cfg);
+    isa::KernelSource src;
+    src.name = "bench";
+    src.templateName = "julia";
+    src.params = {64, 16};
+    isa::KernelBinary bin = jit.compile(src);
+    gpu::Dispatch d;
+    d.binary = &bin;
+    d.globalSize = 1 << 14;
+    d.simdWidth = 16;
+    d.args = {(uint32_t)mem.allocate(1 << 20), 0x3f000000u,
+              0x3e000000u};
+
+    uint64_t walked = 0;
+    for (auto _ : state) {
+        gpu::DetailedResult r = sim.simulate(exec, d);
+        walked += r.simulatedInstrs;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["simulated_instrs_per_s"] = benchmark::Counter(
+        (double)walked, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DetailedSimulator)->Unit(benchmark::kMillisecond);
+
+void
+BM_BinaryRewriter(benchmark::State &state)
+{
+    setLogQuiet(true);
+    workloads::TemplateJit jit;
+    isa::KernelSource src;
+    src.name = "bench";
+    src.templateName = "deep";
+    src.params = {state.range(0)};
+    isa::KernelBinary bin = jit.compile(src);
+
+    for (auto _ : state) {
+        gtpin::SlotAllocator slots;
+        gtpin::Instrumenter instr(bin, slots);
+        for (const auto &block : bin.blocks)
+            instr.countBlockEntry(block.id, instr.allocSlot());
+        isa::KernelBinary out = instr.apply();
+        benchmark::DoNotOptimize(out.staticInstrCount());
+    }
+    state.counters["blocks"] = (double)bin.blocks.size();
+}
+BENCHMARK(BM_BinaryRewriter)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SimPointClustering(benchmark::State &state)
+{
+    setLogQuiet(true);
+    Rng rng(42);
+    std::vector<core::FeatureVector> vectors;
+    std::vector<double> weights;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+        core::FeatureVector v;
+        for (int k = 0; k < 12; ++k) {
+            v.add((uint64_t)((i % 7) * 100 + k),
+                  1.0 + rng.nextDouble());
+        }
+        v.normalize();
+        vectors.push_back(std::move(v));
+        weights.push_back(1.0 + rng.nextDouble(0.0, 10.0));
+    }
+    for (auto _ : state) {
+        core::simpoint::Clustering c =
+            core::simpoint::cluster(vectors, weights);
+        benchmark::DoNotOptimize(c.k);
+    }
+    state.counters["intervals"] = (double)state.range(0);
+}
+BENCHMARK(BM_SimPointClustering)
+    ->Arg(500)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reproduces Table I: the 25-application suite inventory with its
+ * three sources (CompuBench CL 1.2 desktop and mobile, SiSoftware
+ * Sandra 2014, Sony Vegas Pro 2013).
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/table.hh"
+
+using namespace gt;
+
+int
+main()
+{
+    TextTable table({"source", "application", "domain"});
+    std::string last_suite;
+    for (const workloads::Workload *w : workloads::workloadSuite()) {
+        const workloads::WorkloadInfo &info = w->info();
+        if (!last_suite.empty() && info.suite != last_suite)
+            table.addSeparator();
+        table.addRow({info.suite == last_suite ? "" : info.suite,
+                      info.name, info.domain});
+        last_suite = info.suite;
+    }
+    table.print(std::cout, "Table I: Benchmarks used in this study");
+    std::cout << "\n(paper: 15 CompuBench CL 1.2 apps, 3 SiSoftware "
+                 "Sandra 2014 apps,\n 7 Sony Vegas Pro 2013 press "
+                 "project regions; 25 total)\n";
+    return 0;
+}

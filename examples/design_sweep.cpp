@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The payoff the paper's methodology exists for: evaluating a GPU
+ * design space by detail-simulating only a representative subset.
+ *
+ * An architect wants to know how an application responds to EU count
+ * and clock frequency. Full-program cycle-level simulation of every
+ * design point is prohibitive; instead we profile once, select a
+ * representative subset (Section V), and detail-simulate only the
+ * selected intervals at each design point, extrapolating
+ * whole-program performance with the representation ratios.
+ *
+ * Usage: design_sweep [workload]   (default cb-throughput-juliaset)
+ */
+
+#include <iostream>
+
+#include "cfl/recorder.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/pipeline.hh"
+#include "gpu/detailed_sim.hh"
+
+using namespace gt;
+
+namespace
+{
+
+/** Detail-simulate the selected intervals on one design point. */
+double
+projectedSpiOnDesign(const core::ProfiledApp &app,
+                     const core::SubsetSelection &sel,
+                     ocl::GpuDriver &driver,
+                     const gpu::DeviceConfig &design, double freq_mhz,
+                     uint64_t &instrs_walked)
+{
+    gpu::DetailedSimulator sim(design, freq_mhz);
+    double spi = 0.0;
+    for (size_t c = 0; c < sel.selected.size(); ++c) {
+        const core::Interval &iv = sel.intervals[sel.selected[c]];
+        uint64_t instrs = 0;
+        double seconds = 0.0;
+        for (uint64_t d = iv.firstDispatch; d <= iv.lastDispatch;
+             ++d) {
+            const auto &rec = app.db.dispatches()[d].profile;
+            gpu::Dispatch dispatch;
+            dispatch.binary = &driver.binary(rec.kernelId);
+            dispatch.globalSize = rec.globalWorkSize;
+            dispatch.simdWidth = 16;
+            dispatch.args = rec.args;
+            gpu::DetailedResult r =
+                sim.simulate(driver.executor(), dispatch);
+            instrs += rec.instrs;
+            seconds += r.seconds;
+            instrs_walked += r.simulatedInstrs;
+        }
+        spi += sel.ratios[c] * (seconds / (double)instrs);
+    }
+    return spi;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+    std::string name =
+        argc > 1 ? argv[1] : "cb-throughput-juliaset";
+    const workloads::Workload *app_def = workloads::findWorkload(name);
+    if (!app_def) {
+        std::cerr << "unknown workload '" << name << "'\n";
+        return 1;
+    }
+
+    std::cout << "Profiling " << name
+              << " and selecting a simulation subset...\n";
+    core::ProfiledApp app = core::profileApp(*app_def);
+    core::Exploration ex = core::exploreConfigs(app.db);
+    const core::SubsetSelection &sel =
+        core::pickCoOptimized(ex, 3.0).selection;
+    std::cout << "  subset: " << sel.selected.size()
+              << " intervals, "
+              << pct(sel.selectionFraction(), 2)
+              << " of the program ("
+              << fixed(sel.speedup(), 0) << "x faster to simulate)\n\n";
+
+    // Re-materialize the device state (binaries + buffer contents)
+    // by replaying the recording, so dispatches can be re-issued to
+    // the detailed simulator.
+    workloads::TemplateJit jit;
+    gpu::TrialConfig trial;
+    trial.noiseSigma = 0.0;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit, trial);
+    ocl::ClRuntime rt(driver);
+    cfl::replay(app.recording, rt);
+
+    // The design space: EU count x frequency around the HD4000.
+    TextTable table({"design point", "freq", "projected SPI",
+                     "vs. baseline"});
+    double baseline = 0.0;
+    uint64_t walked = 0;
+    for (uint32_t eus : {8u, 16u, 24u, 32u}) {
+        for (double freq : {800.0, 1150.0}) {
+            gpu::DeviceConfig design = gpu::DeviceConfig::hd4000();
+            design.name = std::to_string(eus) + " EUs";
+            design.numEus = eus;
+            double spi = projectedSpiOnDesign(app, sel, driver,
+                                              design, freq, walked);
+            if (baseline == 0.0)
+                baseline = spi;
+            table.addRow({design.name, fixed(freq, 0) + " MHz",
+                          sci(spi, 3),
+                          fixed(baseline / spi, 2) + "x"});
+        }
+    }
+    table.print(std::cout,
+                "Design sweep via subset simulation (8 design "
+                "points)");
+
+    double full_walk_estimate = (double)app.db.totalInstrs() * 8.0;
+    std::cout << "\ninstructions detail-simulated: "
+              << humanCount((double)walked) << " (full-program sweep "
+              << "would walk ~" << humanCount(full_walk_estimate)
+              << ", " << fixed(full_walk_estimate /
+                                   (double)std::max<uint64_t>(1,
+                                                              walked),
+                               0)
+              << "x more)\n";
+    return 0;
+}

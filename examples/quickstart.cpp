@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quickstart: profile an OpenCL application with GT-Pin.
+ *
+ * Runs one of the bundled workloads natively on the modeled Intel
+ * HD 4000, with GT-Pin's built-in tools attached, and prints the
+ * kind of report the paper's Section IV derives from such runs:
+ * API-call breakdown, program structure, dynamic work, instruction
+ * mixes, and memory activity.
+ *
+ * Usage: quickstart [workload-name]   (default cb-throughput-juliaset)
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/pipeline.hh"
+
+using namespace gt;
+
+int
+main(int argc, char **argv)
+{
+    std::string name =
+        argc > 1 ? argv[1] : "cb-throughput-juliaset";
+    const workloads::Workload *app = workloads::findWorkload(name);
+    if (!app) {
+        std::cerr << "unknown workload '" << name << "'; available:\n";
+        for (const auto *w : workloads::workloadSuite())
+            std::cerr << "  " << w->info().name << "\n";
+        return 1;
+    }
+
+    std::cout << "Profiling " << name << " ("
+              << app->info().suite << ", " << app->info().domain
+              << ") on the modeled Intel HD 4000...\n\n";
+
+    core::ProfiledApp profiled = core::profileApp(*app);
+    const core::AppCharacterization &st = profiled.stats;
+
+    TextTable calls({"metric", "value"});
+    calls.addRow({"total API calls",
+                  std::to_string(st.totalApiCalls)});
+    calls.addRow({"kernel calls", pct(st.fracKernel)});
+    calls.addRow({"synchronization calls", pct(st.fracSync)});
+    calls.addRow({"other calls", pct(st.fracOther)});
+    calls.print(std::cout, "OpenCL API calls (host, CoFluent)");
+    std::cout << "\n";
+
+    TextTable work({"metric", "value"});
+    work.addRow({"unique kernels",
+                 std::to_string(st.uniqueKernels)});
+    work.addRow({"unique basic blocks",
+                 std::to_string(st.uniqueBlocks)});
+    work.addRow({"kernel invocations",
+                 std::to_string(st.kernelInvocations)});
+    work.addRow({"basic block executions",
+                 humanCount((double)st.blockExecs)});
+    work.addRow({"dynamic instructions",
+                 humanCount((double)st.dynInstrs)});
+    work.addRow({"bytes read", humanBytes((double)st.bytesRead)});
+    work.addRow({"bytes written",
+                 humanBytes((double)st.bytesWritten)});
+    work.addRow({"kernel time",
+                 fixed(profiled.db.totalSeconds(), 4) + " s"});
+    work.print(std::cout, "GPU work (device, GT-Pin)");
+    std::cout << "\n";
+
+    TextTable mix({"class", "share"});
+    uint64_t total = 0;
+    for (uint64_t c : st.classCounts)
+        total += c;
+    for (int c = 0; c < isa::numOpClasses; ++c) {
+        if ((isa::OpClass)c == isa::OpClass::Instrumentation)
+            continue;
+        mix.addRow({isa::opClassName((isa::OpClass)c),
+                    pct((double)st.classCounts[c] /
+                        (double)total)});
+    }
+    mix.print(std::cout, "Instruction mix");
+    std::cout << "\n";
+
+    TextTable simd({"SIMD width", "share"});
+    uint64_t stotal = 0;
+    for (uint64_t c : st.simdCounts)
+        stotal += c;
+    for (int b = 0; b < 5; ++b) {
+        simd.addRow({std::to_string(1 << b),
+                     pct((double)st.simdCounts[b] /
+                         (double)stotal)});
+    }
+    simd.print(std::cout, "SIMD widths");
+
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * End-to-end simulation subset selection (the paper's Section V).
+ *
+ * Profiles an application once with the GT-Pin selection tool, then
+ * with no further native runs evaluates all 30 interval/feature
+ * configurations, picks a selection under the requested policy, and
+ * validates it: against the profiling trial itself and against a
+ * freshly replayed second trial.
+ *
+ * Usage: subset_selection [workload] [error-threshold-%]
+ *        (default cb-physics-ocean-surf; no threshold = min error)
+ */
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/pipeline.hh"
+
+using namespace gt;
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+    std::string name =
+        argc > 1 ? argv[1] : "cb-physics-ocean-surf";
+    double threshold = argc > 2 ? std::stod(argv[2]) : 0.0;
+
+    const workloads::Workload *app = workloads::findWorkload(name);
+    if (!app) {
+        std::cerr << "unknown workload '" << name << "'\n";
+        return 1;
+    }
+
+    std::cout << "1. Profiling " << name
+              << " natively with GT-Pin (one run)...\n";
+    core::ProfiledApp profiled = core::profileApp(*app);
+    std::cout << "   " << profiled.db.numDispatches()
+              << " kernel invocations, "
+              << humanCount((double)profiled.db.totalInstrs())
+              << " instructions, "
+              << profiled.db.numSyncEpochs() << " sync epochs\n\n";
+
+    std::cout << "2. Evaluating all 30 interval/feature "
+                 "configurations (no simulation needed)...\n";
+    core::Exploration ex = core::exploreConfigs(profiled.db);
+
+    const core::ConfigResult &chosen = threshold > 0.0
+        ? core::pickCoOptimized(ex, threshold)
+        : core::pickMinError(ex);
+    const core::SubsetSelection &sel = chosen.selection;
+
+    std::cout << "   policy: "
+              << (threshold > 0.0
+                      ? "smallest selection under " +
+                          fixed(threshold, 1) + "% error"
+                      : std::string("minimize error"))
+              << "\n   chosen: "
+              << core::intervalSchemeName(sel.scheme)
+              << " intervals + " << core::featureKindName(sel.feature)
+              << " features\n\n";
+
+    TextTable table({"representative interval", "dispatches",
+                     "instructions", "ratio"});
+    for (size_t c = 0; c < sel.selected.size(); ++c) {
+        const core::Interval &iv = sel.intervals[sel.selected[c]];
+        table.addRow({"[" + std::to_string(iv.firstDispatch) + ", " +
+                          std::to_string(iv.lastDispatch) + "]",
+                      std::to_string(iv.numDispatches()),
+                      humanCount((double)iv.instrs),
+                      fixed(sel.ratios[c], 4)});
+    }
+    table.print(std::cout, "3. Selected simulation subset");
+    std::cout << "   simulate "
+              << pct(sel.selectionFraction(), 2)
+              << " of the program => "
+              << fixed(sel.speedup(), 0) << "x faster simulation\n\n";
+
+    std::cout << "4. Validation\n";
+    std::cout << "   self (profiling trial): error "
+              << pct(chosen.errorPct / 100.0, 2) << "\n";
+
+    gpu::TrialConfig trial2;
+    trial2.noiseSeed = 20260707;
+    core::TraceDatabase db2 = core::replayTrial(
+        profiled.recording, gpu::DeviceConfig::hd4000(), trial2);
+    std::cout << "   replayed second trial:  error "
+              << pct(core::selectionErrorPct(db2, sel) / 100.0, 2)
+              << "\n";
+
+    core::TraceDatabase hsw = core::replayTrial(
+        profiled.recording, gpu::DeviceConfig::hd4600(), trial2);
+    std::cout << "   Haswell HD4600 replay:  error "
+              << pct(core::selectionErrorPct(hsw, sel) / 100.0, 2)
+              << "\n";
+    return 0;
+}

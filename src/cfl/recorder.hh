@@ -1,0 +1,65 @@
+/**
+ * @file
+ * CoFluent-style record and replay.
+ *
+ * Section V-E: selections must stay findable across trials despite
+ * non-determinism, so the paper records one execution's API stream
+ * (call names, configuration parameters, memory buffers and images,
+ * kernel code) and replays it natively with "a consistent and
+ * repeatable ordering of API calls". Recorder captures the complete
+ * argumented call stream; replay() re-issues it against a fresh
+ * runtime — typically one whose driver models a different trial,
+ * frequency, or architecture generation, which is exactly how the
+ * Fig. 8 validations are produced.
+ */
+
+#ifndef GT_CFL_RECORDER_HH
+#define GT_CFL_RECORDER_HH
+
+#include <vector>
+
+#include "ocl/runtime.hh"
+
+namespace gt::cfl
+{
+
+/** A recorded execution: the complete, replayable API call stream. */
+struct Recording
+{
+    std::vector<ocl::ApiCallRecord> calls;
+
+    bool empty() const { return calls.empty(); }
+    size_t size() const { return calls.size(); }
+
+    /** Number of kernel dispatches in the recording. */
+    uint64_t dispatchCount() const;
+};
+
+/** Captures the full call stream as an API observer. */
+class Recorder : public ocl::ApiObserver
+{
+  public:
+    void
+    onApiCall(const ocl::ApiCallRecord &record) override
+    {
+        recording.calls.push_back(record);
+    }
+
+    const Recording &result() const { return recording; }
+    Recording take() { return std::move(recording); }
+
+  private:
+    Recording recording;
+};
+
+/**
+ * Replay @p recording against @p runtime, re-issuing every call in
+ * order. The runtime must be fresh (no prior handles created);
+ * handle values are deterministic so the recorded ids resolve
+ * identically. Throws FatalError on a malformed recording.
+ */
+void replay(const Recording &recording, ocl::ClRuntime &runtime);
+
+} // namespace gt::cfl
+
+#endif // GT_CFL_RECORDER_HH

@@ -1,0 +1,184 @@
+#include "cfl/serialize.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gt::cfl
+{
+
+namespace
+{
+
+const char *magic = "gtpin-recording v1";
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    os << s.size() << ' ' << s;
+}
+
+std::string
+readString(std::istream &is)
+{
+    size_t len;
+    if (!(is >> len))
+        fatal("recording: expected string length");
+    char space;
+    is.get(space);
+    std::string s(len, '\0');
+    is.read(s.data(), (std::streamsize)len);
+    if (!is)
+        fatal("recording: truncated string");
+    return s;
+}
+
+const char hexDigits[] = "0123456789abcdef";
+
+int
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    fatal("recording: bad hex digit '", c, "'");
+}
+
+} // anonymous namespace
+
+void
+saveRecording(const Recording &recording, std::ostream &os)
+{
+    os << magic << '\n';
+    for (const ocl::ApiCallRecord &rec : recording.calls) {
+        os << "call " << (int)rec.id << ' ' << rec.callIndex << ' '
+           << rec.dispatchSeq << ' ' << rec.globalWorkSize << ' '
+           << rec.argsHash << ' ';
+        writeString(os, rec.kernelName);
+        os << " u " << rec.uargs.size();
+        for (uint64_t u : rec.uargs)
+            os << ' ' << u;
+        os << " p " << rec.payload.size() << ' ';
+        for (uint8_t b : rec.payload)
+            os << hexDigits[b >> 4] << hexDigits[b & 0xf];
+        os << " s " << rec.sources.size();
+        for (const isa::KernelSource &src : rec.sources) {
+            os << ' ';
+            writeString(os, src.name);
+            os << ' ';
+            writeString(os, src.templateName);
+            os << ' ' << src.params.size();
+            for (int64_t p : src.params)
+                os << ' ' << p;
+        }
+        os << '\n';
+    }
+    os << "end\n";
+}
+
+Recording
+loadRecording(std::istream &is)
+{
+    std::string header;
+    std::getline(is, header);
+    if (header != magic)
+        fatal("recording: bad magic '", header, "'");
+
+    Recording recording;
+    std::string tok;
+    while (is >> tok) {
+        if (tok == "end")
+            return recording;
+        if (tok != "call")
+            fatal("recording: expected 'call', got '", tok, "'");
+
+        ocl::ApiCallRecord rec;
+        int id;
+        if (!(is >> id >> rec.callIndex >> rec.dispatchSeq >>
+              rec.globalWorkSize >> rec.argsHash)) {
+            fatal("recording: truncated call header");
+        }
+        if (id < 0 || id >= ocl::numApiCalls)
+            fatal("recording: invalid call id ", id);
+        rec.id = (ocl::ApiCallId)id;
+        rec.kernelName = readString(is);
+
+        std::string tag;
+        size_t n;
+        is >> tag >> n;
+        if (tag != "u")
+            fatal("recording: expected 'u'");
+        rec.uargs.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            if (!(is >> rec.uargs[i]))
+                fatal("recording: truncated uargs");
+        }
+
+        is >> tag >> n;
+        if (tag != "p")
+            fatal("recording: expected 'p'");
+        rec.payload.resize(n);
+        if (n > 0) {
+            char space;
+            is.get(space);
+            for (size_t i = 0; i < n; ++i) {
+                char hi, lo;
+                if (!is.get(hi) || !is.get(lo))
+                    fatal("recording: truncated payload");
+                rec.payload[i] =
+                    (uint8_t)((hexValue(hi) << 4) | hexValue(lo));
+            }
+        } else {
+            // Consume the single separator space.
+            char space;
+            is.get(space);
+        }
+
+        is >> tag >> n;
+        if (tag != "s")
+            fatal("recording: expected 's'");
+        rec.sources.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            rec.sources[i].name = readString(is);
+            rec.sources[i].templateName = readString(is);
+            size_t np;
+            if (!(is >> np))
+                fatal("recording: truncated source params");
+            rec.sources[i].params.resize(np);
+            for (size_t k = 0; k < np; ++k) {
+                if (!(is >> rec.sources[i].params[k]))
+                    fatal("recording: truncated source params");
+            }
+        }
+
+        recording.calls.push_back(std::move(rec));
+    }
+    fatal("recording: missing 'end' terminator");
+}
+
+void
+saveRecordingFile(const Recording &recording,
+                  const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    saveRecording(recording, os);
+    if (!os)
+        fatal("write to '", path, "' failed");
+}
+
+Recording
+loadRecordingFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '", path, "'");
+    return loadRecording(is);
+}
+
+} // namespace gt::cfl

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * On-disk persistence for CoFluent-style recordings.
+ *
+ * The paper's workflow treats a recording as an artifact: it is
+ * captured once on the profiling machine and replayed later — on
+ * other days, at other frequencies, on other machines. This module
+ * serializes a Recording to a line-oriented text format and loads it
+ * back, so recordings can be shipped between processes and checked
+ * into experiment directories.
+ *
+ * Format (one call per line):
+ *   gtpin-recording v1
+ *   call <id> <callIndex> <dispatchSeq> <gws> <argsHash>
+ *        <name-len> <name> u <n> <uargs...> p <n> <hex-payload>
+ *        s <n> {<name-len> <name> <tpl-len> <tpl> <n> <params...>}*
+ *   end
+ */
+
+#ifndef GT_CFL_SERIALIZE_HH
+#define GT_CFL_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "cfl/recorder.hh"
+
+namespace gt::cfl
+{
+
+/** Write @p recording to @p os in the v1 text format. */
+void saveRecording(const Recording &recording, std::ostream &os);
+
+/**
+ * Parse a recording from @p is. Throws FatalError on malformed
+ * input (bad magic, truncated call, trailing garbage).
+ */
+Recording loadRecording(std::istream &is);
+
+/** Convenience file wrappers. @{ */
+void saveRecordingFile(const Recording &recording,
+                       const std::string &path);
+Recording loadRecordingFile(const std::string &path);
+/** @} */
+
+} // namespace gt::cfl
+
+#endif // GT_CFL_SERIALIZE_HH

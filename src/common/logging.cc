@@ -1,0 +1,41 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace gt
+{
+
+namespace
+{
+
+bool quietFlag = false;
+
+} // anonymous namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+logQuiet()
+{
+    return quietFlag;
+}
+
+namespace detail
+{
+
+void
+emitMessage(const char *prefix, const std::string &msg)
+{
+    bool is_error =
+        prefix[0] == 'p' || prefix[0] == 'f'; // panic or fatal
+    if (quietFlag && !is_error)
+        return;
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
+
+} // namespace detail
+} // namespace gt

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user error (bad
+ * configuration or arguments), and warn()/inform() report conditions
+ * without stopping execution.
+ */
+
+#ifndef GT_COMMON_LOGGING_HH
+#define GT_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gt
+{
+
+/** Exception thrown by fatal() for user-correctable errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception thrown by panic() for internal invariant violations. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Concatenate a heterogeneous argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void emitMessage(const char *prefix, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and throw PanicError.
+ * Use only for conditions that indicate a bug in this library.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emitMessage("panic", msg);
+    throw PanicError(msg);
+}
+
+/**
+ * Report a user-correctable error and throw FatalError.
+ * Use for invalid configurations, arguments, or inputs.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emitMessage("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Report a suspicious but survivable condition to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitMessage("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an informational status message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitMessage("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the given condition holds. */
+#define GT_ASSERT(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::gt::panic("assertion '", #cond, "' failed at ",           \
+                        __FILE__, ":", __LINE__, ": ", ##__VA_ARGS__);  \
+        }                                                               \
+    } while (0)
+
+/** Enable or disable warn()/inform() output (panic/fatal always print). */
+void setLogQuiet(bool quiet);
+
+/** @return whether warn()/inform() output is currently suppressed. */
+bool logQuiet();
+
+} // namespace gt
+
+#endif // GT_COMMON_LOGGING_HH

@@ -1,0 +1,151 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gt
+{
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    GT_ASSERT(bound > 0, "nextBounded requires bound > 0");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    GT_ASSERT(lo <= hi, "nextRange requires lo <= hi");
+    return lo + (int64_t)nextBounded((uint64_t)(hi - lo) + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasSpare) {
+        hasSpare = false;
+        return spare;
+    }
+    double u, v, sq;
+    do {
+        u = nextDouble(-1.0, 1.0);
+        v = nextDouble(-1.0, 1.0);
+        sq = u * u + v * v;
+    } while (sq >= 1.0 || sq == 0.0);
+    double mul = std::sqrt(-2.0 * std::log(sq) / sq);
+    spare = v * mul;
+    hasSpare = true;
+    return u * mul;
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    return mean + stddev * nextGaussian();
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+uint64_t
+Rng::nextZipf(uint64_t n, double s)
+{
+    GT_ASSERT(n > 0, "nextZipf requires n > 0");
+    if (n == 1)
+        return 0;
+    // Inverse-CDF on the (approximate) continuous Zipf distribution;
+    // accurate enough for workload-popularity skew.
+    double h = 0.0;
+    // Harmonic normalization is O(n); n is small (kernels/blocks) so
+    // this straightforward computation is fine.
+    for (uint64_t i = 1; i <= n; ++i)
+        h += 1.0 / std::pow((double)i, s);
+    double u = nextDouble() * h;
+    double acc = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+        acc += 1.0 / std::pow((double)i, s);
+        if (acc >= u)
+            return i - 1;
+    }
+    return n - 1;
+}
+
+double
+Rng::nextLogNormal(double mu, double sigma)
+{
+    return std::exp(nextGaussian(mu, sigma));
+}
+
+} // namespace gt

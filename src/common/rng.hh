@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic random-number generation.
+ *
+ * Every stochastic component in the library (workload generators,
+ * timing-model noise, k-means seeding) draws from an explicitly seeded
+ * Rng so that whole experiments are reproducible bit-for-bit. The
+ * generator is xoshiro256**, seeded through splitmix64 per the
+ * reference implementation's recommendation.
+ */
+
+#ifndef GT_COMMON_RNG_HH
+#define GT_COMMON_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gt
+{
+
+/** Mix a 64-bit value with the splitmix64 finalizer. */
+uint64_t splitmix64(uint64_t &state);
+
+/**
+ * Deterministic xoshiro256** generator with convenience draws.
+ *
+ * Cheap to copy; forking (fork()) derives an independent stream so
+ * that adding draws to one component does not perturb another.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next raw 64-bit output. */
+    uint64_t next();
+
+    /** @return an independent generator derived from this one. */
+    Rng fork();
+
+    /** @return uniform integer in [0, bound), bound > 0. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return uniform double in [lo, hi). */
+    double nextDouble(double lo, double hi);
+
+    /** @return standard normal deviate (Marsaglia polar method). */
+    double nextGaussian();
+
+    /** @return normal deviate with given mean and standard deviation. */
+    double nextGaussian(double mean, double stddev);
+
+    /** @return true with probability p. */
+    bool nextBool(double p = 0.5);
+
+    /**
+     * Zipf-distributed integer in [0, n) with exponent s.
+     * Used to generate realistically skewed kernel/block popularity.
+     */
+    uint64_t nextZipf(uint64_t n, double s);
+
+    /** Log-normal deviate: exp(N(mu, sigma)). */
+    double nextLogNormal(double mu, double sigma);
+
+    /** Fisher-Yates shuffle of a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = nextBounded(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Pick a uniformly random element (vector must be non-empty). */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[nextBounded(v.size())];
+    }
+
+  private:
+    uint64_t s[4];
+    bool hasSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace gt
+
+#endif // GT_COMMON_RNG_HH

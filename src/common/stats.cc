@@ -1,0 +1,182 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gt
+{
+
+void
+RunningStat::add(double x)
+{
+    add(x, 1.0);
+}
+
+void
+RunningStat::add(double x, double weight)
+{
+    GT_ASSERT(weight >= 0.0, "negative weight");
+    if (weight == 0.0)
+        return;
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    total += x * weight;
+    double w_new = w + weight;
+    double delta = x - m;
+    double r = delta * weight / w_new;
+    m += r;
+    s += w * delta * r;
+    w = w_new;
+}
+
+double
+RunningStat::mean() const
+{
+    return n == 0 ? 0.0 : m;
+}
+
+double
+RunningStat::variance() const
+{
+    return w <= 0.0 ? 0.0 : s / w;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::min() const
+{
+    return n == 0 ? 0.0 : lo;
+}
+
+double
+RunningStat::max() const
+{
+    return n == 0 ? 0.0 : hi;
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    double w_new = w + other.w;
+    double delta = other.m - m;
+    double m_new = m + delta * other.w / w_new;
+    s = s + other.s + delta * delta * w * other.w / w_new;
+    m = m_new;
+    w = w_new;
+    n += other.n;
+    total += other.total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+}
+
+void
+Histogram::add(int64_t key, uint64_t count)
+{
+    data[key] += count;
+    grandTotal += count;
+}
+
+uint64_t
+Histogram::count(int64_t key) const
+{
+    auto it = data.find(key);
+    return it == data.end() ? 0 : it->second;
+}
+
+double
+Histogram::fraction(int64_t key) const
+{
+    if (grandTotal == 0)
+        return 0.0;
+    return (double)count(key) / (double)grandTotal;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (const auto &[key, cnt] : other.data)
+        add(key, cnt);
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : v)
+        sum += x;
+    return sum / (double)v.size();
+}
+
+double
+weightedMean(const std::vector<double> &values,
+             const std::vector<double> &weights)
+{
+    GT_ASSERT(values.size() == weights.size(),
+              "values/weights size mismatch");
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+        GT_ASSERT(weights[i] >= 0.0, "negative weight");
+        num += values[i] * weights[i];
+        den += weights[i];
+    }
+    GT_ASSERT(den > 0.0, "weightedMean requires positive total weight");
+    return num / den;
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v) {
+        GT_ASSERT(x > 0.0, "geomean requires positive values");
+        acc += std::log(x);
+    }
+    return std::exp(acc / (double)v.size());
+}
+
+double
+percentile(std::vector<double> v, double p)
+{
+    GT_ASSERT(!v.empty(), "percentile of empty vector");
+    GT_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1)
+        return v[0];
+    double rank = p / 100.0 * (double)(v.size() - 1);
+    size_t below = (size_t)rank;
+    double frac = rank - (double)below;
+    if (below + 1 >= v.size())
+        return v.back();
+    return v[below] * (1.0 - frac) + v[below + 1] * frac;
+}
+
+double
+relativeErrorPct(double measured, double reference)
+{
+    GT_ASSERT(reference != 0.0, "relative error vs zero reference");
+    return std::abs(measured - reference) / std::abs(reference) * 100.0;
+}
+
+} // namespace gt

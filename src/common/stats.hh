@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Small statistics helpers shared across the library: running
+ * mean/variance accumulation, weighted means, histograms, and
+ * percentage formatting used by the characterization benches.
+ */
+
+#ifndef GT_COMMON_STATS_HH
+#define GT_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gt
+{
+
+/**
+ * Single-pass running statistics (Welford's algorithm).
+ * Tracks count, mean, variance, min, and max.
+ */
+class RunningStat
+{
+  public:
+    void add(double x);
+    void add(double x, double weight);
+
+    uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const;
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+  private:
+    uint64_t n = 0;
+    double w = 0.0;
+    double total = 0.0;
+    double m = 0.0;
+    double s = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Frequency histogram over integer-keyed categories.
+ * Used for opcode-class and SIMD-width distributions.
+ */
+class Histogram
+{
+  public:
+    void add(int64_t key, uint64_t count = 1);
+
+    uint64_t total() const { return grandTotal; }
+    uint64_t count(int64_t key) const;
+
+    /** Fraction of the total mass at @p key (0 if empty). */
+    double fraction(int64_t key) const;
+
+    const std::map<int64_t, uint64_t> &bins() const { return data; }
+
+    void merge(const Histogram &other);
+
+  private:
+    std::map<int64_t, uint64_t> data;
+    uint64_t grandTotal = 0;
+};
+
+/** @return arithmetic mean of @p v (0 for empty input). */
+double mean(const std::vector<double> &v);
+
+/** @return weighted mean; weights must be non-negative, sum > 0. */
+double weightedMean(const std::vector<double> &values,
+                    const std::vector<double> &weights);
+
+/** @return the geometric mean of strictly positive values. */
+double geomean(const std::vector<double> &v);
+
+/** @return the p-th percentile (0..100) by linear interpolation. */
+double percentile(std::vector<double> v, double p);
+
+/** Relative error |a - b| / |b| as a percentage; b must be nonzero. */
+double relativeErrorPct(double measured, double reference);
+
+} // namespace gt
+
+#endif // GT_COMMON_STATS_HH

@@ -1,0 +1,167 @@
+#include "common/table.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gt
+{
+
+std::string
+humanCount(double value)
+{
+    static const char *suffix[] = {"", " K", " M", " G", " T", " P"};
+    int idx = 0;
+    double v = std::abs(value);
+    while (v >= 1000.0 && idx < 5) {
+        v /= 1000.0;
+        ++idx;
+    }
+    char buf[48];
+    if (idx == 0)
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f%s",
+                      value < 0 ? -v : v, suffix[idx]);
+    return buf;
+}
+
+std::string
+humanBytes(double bytes)
+{
+    static const char *suffix[] = {" B", " KB", " MB", " GB", " TB", " PB"};
+    int idx = 0;
+    double v = std::abs(bytes);
+    while (v >= 1024.0 && idx < 5) {
+        v /= 1024.0;
+        ++idx;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.2f%s",
+                  bytes < 0 ? -v : v, suffix[idx]);
+    return buf;
+}
+
+std::string
+pct(double fraction, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+fixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+sci(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+    return buf;
+}
+
+const std::vector<std::string> TextTable::separatorMarker = {"\x01sep"};
+
+TextTable::TextTable(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+    GT_ASSERT(!headers.empty(), "table requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    GT_ASSERT(cells.size() == headers.size(),
+              "row has ", cells.size(), " cells, expected ",
+              headers.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows.push_back(separatorMarker);
+}
+
+void
+TextTable::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<size_t> width(headers.size());
+    for (size_t c = 0; c < headers.size(); ++c)
+        width[c] = headers[c].size();
+    for (const auto &row : rows) {
+        if (row == separatorMarker)
+            continue;
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto rule = [&]() {
+        for (size_t c = 0; c < width.size(); ++c) {
+            os << '+' << std::string(width[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << std::left << std::setw((int)width[c])
+               << cells[c] << ' ';
+        }
+        os << "|\n";
+    };
+
+    if (!title.empty())
+        os << "== " << title << " ==\n";
+    rule();
+    line(headers);
+    rule();
+    for (const auto &row : rows) {
+        if (row == separatorMarker)
+            rule();
+        else
+            line(row);
+    }
+    rule();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            // Quote cells containing separators.
+            if (cells[c].find_first_of(",\"\n") != std::string::npos) {
+                os << '"';
+                for (char ch : cells[c]) {
+                    if (ch == '"')
+                        os << "\"\"";
+                    else
+                        os << ch;
+                }
+                os << '"';
+            } else {
+                os << cells[c];
+            }
+        }
+        os << '\n';
+    };
+    emit(headers);
+    for (const auto &row : rows) {
+        if (row != separatorMarker)
+            emit(row);
+    }
+}
+
+} // namespace gt

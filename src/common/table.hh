@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Plain-text table and CSV emitters used by the benchmark harnesses to
+ * print each reproduced paper table/figure as aligned rows.
+ */
+
+#ifndef GT_COMMON_TABLE_HH
+#define GT_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gt
+{
+
+/** Human-readable count with engineering suffix (e.g. "3.7 G"). */
+std::string humanCount(double value);
+
+/** Human-readable byte count (e.g. "2.17 GB"). */
+std::string humanBytes(double bytes);
+
+/** Fixed-precision percentage string, e.g. "12.3%". */
+std::string pct(double fraction, int precision = 1);
+
+/** Fixed-precision floating value. */
+std::string fixed(double value, int precision = 2);
+
+/** Scientific-notation value, e.g. "2.87e-10". */
+std::string sci(double value, int precision = 2);
+
+/**
+ * Column-aligned text table accumulated row by row and printed once.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; it must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator row before the next addRow(). */
+    void addSeparator();
+
+    size_t rowCount() const { return rows.size(); }
+
+    /** Render the table to @p os with a title banner. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+    /** Render as CSV (no alignment, no separators). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+    static const std::vector<std::string> separatorMarker;
+};
+
+} // namespace gt
+
+#endif // GT_COMMON_TABLE_HH

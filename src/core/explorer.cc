@@ -1,0 +1,69 @@
+#include "core/explorer.hh"
+
+#include "common/logging.hh"
+
+namespace gt::core
+{
+
+const ConfigResult &
+Exploration::result(IntervalScheme scheme, FeatureKind feature) const
+{
+    for (const ConfigResult &r : results) {
+        if (r.selection.scheme == scheme &&
+            r.selection.feature == feature) {
+            return r;
+        }
+    }
+    panic("configuration not present in exploration");
+}
+
+Exploration
+exploreConfigs(const TraceDatabase &db,
+               const simpoint::ClusterOptions &options,
+               uint64_t target_instrs)
+{
+    Exploration ex;
+    ex.results.reserve(numIntervalSchemes * numFeatureKinds);
+    for (int s = 0; s < numIntervalSchemes; ++s) {
+        for (int f = 0; f < numFeatureKinds; ++f) {
+            ConfigResult r;
+            r.selection = selectSubset(db, (IntervalScheme)s,
+                                       (FeatureKind)f, options,
+                                       target_instrs);
+            r.errorPct = selectionErrorPct(db, r.selection);
+            ex.results.push_back(std::move(r));
+        }
+    }
+    return ex;
+}
+
+const ConfigResult &
+pickMinError(const Exploration &ex)
+{
+    GT_ASSERT(!ex.results.empty(), "empty exploration");
+    const ConfigResult *best = &ex.results[0];
+    for (const ConfigResult &r : ex.results) {
+        if (r.errorPct < best->errorPct)
+            best = &r;
+    }
+    return *best;
+}
+
+const ConfigResult &
+pickCoOptimized(const Exploration &ex, double threshold_pct)
+{
+    GT_ASSERT(!ex.results.empty(), "empty exploration");
+    const ConfigResult *best = nullptr;
+    for (const ConfigResult &r : ex.results) {
+        if (r.errorPct > threshold_pct)
+            continue;
+        if (!best ||
+            r.selection.selectionFraction() <
+                best->selection.selectionFraction()) {
+            best = &r;
+        }
+    }
+    return best ? *best : pickMinError(ex);
+}
+
+} // namespace gt::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The 30-configuration exploration and the paper's two selection
+ * policies.
+ *
+ * Section V-C's key observation: profiling an application once is
+ * enough to evaluate all 3 interval schemes x 10 feature kinds with
+ * no additional native runs and no simulation, because both interval
+ * construction and feature extraction are post-processing over the
+ * same trace database. The explorer does exactly that, and the two
+ * policies pick from the 30 results:
+ *
+ *  - pickMinError: the per-application error-minimizing
+ *    configuration (Fig. 6: 0.3% average error, 35x average
+ *    speedup);
+ *  - pickCoOptimized: the smallest selection with error below a
+ *    threshold, falling back to minimum error when nothing
+ *    qualifies (Fig. 7: e.g. 223x average speedup at the 10%
+ *    threshold).
+ */
+
+#ifndef GT_CORE_EXPLORER_HH
+#define GT_CORE_EXPLORER_HH
+
+#include "core/selection.hh"
+
+namespace gt::core
+{
+
+/** One evaluated (interval scheme, feature kind) configuration. */
+struct ConfigResult
+{
+    SubsetSelection selection;
+    double errorPct = 0.0;
+};
+
+/** All 30 configurations for one application. */
+struct Exploration
+{
+    std::vector<ConfigResult> results;
+
+    const ConfigResult &result(IntervalScheme scheme,
+                               FeatureKind feature) const;
+};
+
+/** Evaluate all 30 configurations on one profiled application. */
+Exploration exploreConfigs(
+    const TraceDatabase &db,
+    const simpoint::ClusterOptions &options = {},
+    uint64_t target_instrs = 0);
+
+/** Fig. 6 policy: minimize error. */
+const ConfigResult &pickMinError(const Exploration &exploration);
+
+/**
+ * Fig. 7 policy: smallest selection with error <= @p threshold_pct;
+ * if none qualifies, the minimum-error configuration.
+ */
+const ConfigResult &pickCoOptimized(const Exploration &exploration,
+                                    double threshold_pct);
+
+} // namespace gt::core
+
+#endif // GT_CORE_EXPLORER_HH

@@ -1,0 +1,232 @@
+#include "core/features.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gt::core
+{
+
+const char *
+featureKindName(FeatureKind kind)
+{
+    switch (kind) {
+      case FeatureKind::KN: return "KN";
+      case FeatureKind::KN_ARGS: return "KN-ARGS";
+      case FeatureKind::KN_GWS: return "KN-GWS";
+      case FeatureKind::KN_ARGS_GWS: return "KN-ARGS-GWS";
+      case FeatureKind::KN_RW: return "KN-RW";
+      case FeatureKind::BB: return "BB";
+      case FeatureKind::BB_R: return "BB-R";
+      case FeatureKind::BB_W: return "BB-W";
+      case FeatureKind::BB_R_W: return "BB-R-W";
+      case FeatureKind::BB_RpW: return "BB-(R+W)";
+      default:
+        panic("invalid feature kind ", (int)kind);
+    }
+}
+
+bool
+isBlockFeature(FeatureKind kind)
+{
+    switch (kind) {
+      case FeatureKind::BB:
+      case FeatureKind::BB_R:
+      case FeatureKind::BB_W:
+      case FeatureKind::BB_R_W:
+      case FeatureKind::BB_RpW:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+hasMemoryFeature(FeatureKind kind)
+{
+    switch (kind) {
+      case FeatureKind::KN_RW:
+      case FeatureKind::BB_R:
+      case FeatureKind::BB_W:
+      case FeatureKind::BB_R_W:
+      case FeatureKind::BB_RpW:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+FeatureVector::add(uint64_t key, double value)
+{
+    if (value != 0.0)
+        data[key] += value;
+}
+
+double
+FeatureVector::l2norm() const
+{
+    double acc = 0.0;
+    for (const auto &[key, v] : data)
+        acc += v * v;
+    return std::sqrt(acc);
+}
+
+double
+FeatureVector::sum() const
+{
+    double acc = 0.0;
+    for (const auto &[key, v] : data)
+        acc += v;
+    return acc;
+}
+
+void
+FeatureVector::normalize()
+{
+    double total = sum();
+    if (total == 0.0)
+        return;
+    for (auto &[key, v] : data)
+        v /= total;
+}
+
+double
+FeatureVector::dot(const FeatureVector &other) const
+{
+    const auto &a = data;
+    const auto &b = other.data;
+    double acc = 0.0;
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() && ib != b.end()) {
+        if (ia->first < ib->first) {
+            ++ia;
+        } else if (ib->first < ia->first) {
+            ++ib;
+        } else {
+            acc += ia->second * ib->second;
+            ++ia;
+            ++ib;
+        }
+    }
+    return acc;
+}
+
+namespace
+{
+
+/** Stable 64-bit mixing of event-identity components. */
+uint64_t
+mixKey(uint64_t a, uint64_t b, uint64_t c = 0, uint64_t d = 0)
+{
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t x : {a, b, c, d}) {
+        h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+    }
+    return h;
+}
+
+// Tag values distinguishing the dimension families within a key.
+constexpr uint64_t tagBase = 1;
+constexpr uint64_t tagRead = 2;
+constexpr uint64_t tagWrite = 3;
+constexpr uint64_t tagReadWrite = 4;
+
+} // anonymous namespace
+
+FeatureVector
+extractFeatures(const TraceDatabase &db, const Interval &interval,
+                FeatureKind kind)
+{
+    const auto &dispatches = db.dispatches();
+    GT_ASSERT(interval.lastDispatch < dispatches.size(),
+              "interval out of range");
+
+    FeatureVector vec;
+    for (uint64_t i = interval.firstDispatch;
+         i <= interval.lastDispatch; ++i) {
+        const gtpin::DispatchProfile &p = dispatches[i].profile;
+
+        if (!isBlockFeature(kind)) {
+            uint64_t args = 0, gws = 0;
+            switch (kind) {
+              case FeatureKind::KN_ARGS:
+                args = p.argsHash;
+                break;
+              case FeatureKind::KN_GWS:
+                gws = p.globalWorkSize;
+                break;
+              case FeatureKind::KN_ARGS_GWS:
+                args = p.argsHash;
+                gws = p.globalWorkSize;
+                break;
+              default:
+                break;
+            }
+            uint64_t base = mixKey(p.kernelId, args, gws, tagBase);
+            // Instruction-count weighting: the kernel event counts
+            // for the instructions it executed.
+            vec.add(base, (double)p.instrs);
+            if (kind == FeatureKind::KN_RW) {
+                vec.add(mixKey(p.kernelId, 0, 0, tagRead),
+                        (double)p.bytesRead);
+                vec.add(mixKey(p.kernelId, 0, 0, tagWrite),
+                        (double)p.bytesWritten);
+            }
+            continue;
+        }
+
+        // Basic-block families.
+        for (size_t b = 0; b < p.blockCounts.size(); ++b) {
+            uint64_t count = p.blockCounts[b];
+            if (count == 0)
+                continue;
+            double weighted = (double)count * p.blockLens[b];
+            vec.add(mixKey(p.kernelId, b, 0, tagBase), weighted);
+
+            double read =
+                (double)count * p.blockReadBytes[b];
+            double written =
+                (double)count * p.blockWriteBytes[b];
+            switch (kind) {
+              case FeatureKind::BB_R:
+                vec.add(mixKey(p.kernelId, b, 0, tagRead), read);
+                break;
+              case FeatureKind::BB_W:
+                vec.add(mixKey(p.kernelId, b, 0, tagWrite), written);
+                break;
+              case FeatureKind::BB_R_W:
+                vec.add(mixKey(p.kernelId, b, 0, tagRead), read);
+                vec.add(mixKey(p.kernelId, b, 0, tagWrite), written);
+                break;
+              case FeatureKind::BB_RpW:
+                vec.add(mixKey(p.kernelId, b, 0, tagReadWrite),
+                        read + written);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return vec;
+}
+
+std::vector<FeatureVector>
+extractAllFeatures(const TraceDatabase &db,
+                   const std::vector<Interval> &intervals,
+                   FeatureKind kind)
+{
+    std::vector<FeatureVector> vectors;
+    vectors.reserve(intervals.size());
+    for (const Interval &iv : intervals) {
+        FeatureVector vec = extractFeatures(db, iv, kind);
+        vec.normalize();
+        vectors.push_back(std::move(vec));
+    }
+    return vectors;
+}
+
+} // namespace gt::core

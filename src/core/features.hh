@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Feature-vector construction (the paper's Table III).
+ *
+ * Each interval is summarized as a sparse (key, value) vector. Keys
+ * identify a program event — a kernel, a kernel with specific
+ * argument values or global work size, a basic block — and values
+ * count the event's dynamic occurrences weighted by instruction
+ * count, the weighting Section V-B motivates (a 20-instruction
+ * block executed 5 times matters more than a 3-instruction block
+ * executed 10 times). The memory-augmented variants add per-key
+ * dimensions carrying the bytes read and/or written, so two
+ * intervals running the same code on different data volumes
+ * separate in feature space.
+ */
+
+#ifndef GT_CORE_FEATURES_HH
+#define GT_CORE_FEATURES_HH
+
+#include <map>
+
+#include "core/interval.hh"
+
+namespace gt::core
+{
+
+/** Table III's ten feature-vector types. */
+enum class FeatureKind : uint8_t
+{
+    KN,          //!< kernel
+    KN_ARGS,     //!< kernel + argument values
+    KN_GWS,      //!< kernel + global work size
+    KN_ARGS_GWS, //!< kernel + argument values + global work size
+    KN_RW,       //!< kernel, plus bytes-read and bytes-written dims
+    BB,          //!< basic block
+    BB_R,        //!< basic block, plus bytes-read dims
+    BB_W,        //!< basic block, plus bytes-written dims
+    BB_R_W,      //!< basic block, plus read and written dims
+    BB_RpW,      //!< basic block, plus (read + written) dims
+};
+
+constexpr int numFeatureKinds = 10;
+
+/** @return the paper's identifier, e.g. "BB-(R+W)". */
+const char *featureKindName(FeatureKind kind);
+
+/** @return true for the five basic-block-based kinds. */
+bool isBlockFeature(FeatureKind kind);
+
+/** @return true for the kinds with memory-traffic dimensions. */
+bool hasMemoryFeature(FeatureKind kind);
+
+/**
+ * A sparse feature vector. Keys are stable 64-bit identities of
+ * program events; values are instruction-count-weighted occurrence
+ * counts (or byte volumes for memory dimensions).
+ */
+class FeatureVector
+{
+  public:
+    void add(uint64_t key, double value);
+
+    double l2norm() const;
+
+    /** Scale so entries sum to 1 (no-op on an all-zero vector). */
+    void normalize();
+
+    double
+    dot(const FeatureVector &other) const;
+
+    const std::map<uint64_t, double> &entries() const { return data; }
+
+    size_t dims() const { return data.size(); }
+
+    double sum() const;
+
+  private:
+    std::map<uint64_t, double> data;
+};
+
+/** Extract the @p kind feature vector of @p interval. */
+FeatureVector extractFeatures(const TraceDatabase &db,
+                              const Interval &interval,
+                              FeatureKind kind);
+
+/** Extract vectors for all intervals (normalized). */
+std::vector<FeatureVector>
+extractAllFeatures(const TraceDatabase &db,
+                   const std::vector<Interval> &intervals,
+                   FeatureKind kind);
+
+} // namespace gt::core
+
+#endif // GT_CORE_FEATURES_HH

@@ -1,0 +1,109 @@
+#include "core/interval.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gt::core
+{
+
+const char *
+intervalSchemeName(IntervalScheme scheme)
+{
+    switch (scheme) {
+      case IntervalScheme::SyncBounded: return "sync";
+      case IntervalScheme::ApproxInstructions: return "approx-n";
+      case IntervalScheme::SingleKernel: return "kernel";
+      default:
+        panic("invalid interval scheme ", (int)scheme);
+    }
+}
+
+double
+Interval::spi() const
+{
+    GT_ASSERT(instrs > 0, "SPI of an instruction-free interval");
+    return seconds / (double)instrs;
+}
+
+std::vector<Interval>
+buildIntervals(const TraceDatabase &db, IntervalScheme scheme,
+               uint64_t target_instrs)
+{
+    const auto &dispatches = db.dispatches();
+    GT_ASSERT(!dispatches.empty(), "interval build on empty trace");
+
+    if (target_instrs == 0)
+        target_instrs = std::max<uint64_t>(1, db.totalInstrs() / 1000);
+
+    std::vector<Interval> intervals;
+    Interval cur;
+    bool open = false;
+
+    auto close = [&](uint64_t last) {
+        cur.lastDispatch = last;
+        intervals.push_back(cur);
+        open = false;
+    };
+
+    for (uint64_t i = 0; i < dispatches.size(); ++i) {
+        const DispatchRecord &rec = dispatches[i];
+
+        if (open) {
+            bool boundary = false;
+            switch (scheme) {
+              case IntervalScheme::SyncBounded:
+                boundary = rec.syncEpoch !=
+                    dispatches[cur.firstDispatch].syncEpoch;
+                break;
+              case IntervalScheme::ApproxInstructions:
+                // Close at sync epochs always; otherwise once the
+                // chunk has reached the target. A kernel invocation
+                // is never split, so chunks may overshoot — that is
+                // the "approximately" in the paper's name.
+                boundary = rec.syncEpoch !=
+                        dispatches[cur.firstDispatch].syncEpoch ||
+                    cur.instrs >= target_instrs;
+                break;
+              case IntervalScheme::SingleKernel:
+                boundary = true;
+                break;
+            }
+            if (boundary)
+                close(i - 1);
+        }
+
+        if (!open) {
+            cur = Interval{};
+            cur.firstDispatch = i;
+            open = true;
+        }
+        cur.instrs += rec.profile.instrs;
+        cur.seconds += rec.seconds;
+    }
+    if (open)
+        close(dispatches.size() - 1);
+
+    return intervals;
+}
+
+IntervalStats
+intervalStats(const std::vector<Interval> &intervals)
+{
+    IntervalStats stats;
+    stats.count = intervals.size();
+    if (intervals.empty())
+        return stats;
+    stats.minInstrs = intervals[0].instrs;
+    stats.maxInstrs = intervals[0].instrs;
+    double sum = 0.0;
+    for (const Interval &iv : intervals) {
+        stats.minInstrs = std::min(stats.minInstrs, iv.instrs);
+        stats.maxInstrs = std::max(stats.maxInstrs, iv.instrs);
+        sum += (double)iv.instrs;
+    }
+    stats.avgInstrs = sum / (double)intervals.size();
+    return stats;
+}
+
+} // namespace gt::core

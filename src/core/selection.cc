@@ -1,0 +1,104 @@
+#include "core/selection.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gt::core
+{
+
+double
+SubsetSelection::selectionFraction() const
+{
+    GT_ASSERT(totalInstrs > 0, "selection over empty program");
+    return (double)selectedInstrs / (double)totalInstrs;
+}
+
+double
+SubsetSelection::speedup() const
+{
+    double fraction = selectionFraction();
+    GT_ASSERT(fraction > 0.0, "empty selection has no speedup");
+    return 1.0 / fraction;
+}
+
+SubsetSelection
+selectSubset(const TraceDatabase &db, IntervalScheme scheme,
+             FeatureKind feature,
+             const simpoint::ClusterOptions &options,
+             uint64_t target_instrs)
+{
+    SubsetSelection sel;
+    sel.scheme = scheme;
+    sel.feature = feature;
+    sel.intervals = buildIntervals(db, scheme, target_instrs);
+
+    std::vector<FeatureVector> vectors =
+        extractAllFeatures(db, sel.intervals, feature);
+
+    std::vector<double> weights;
+    weights.reserve(sel.intervals.size());
+    for (const Interval &iv : sel.intervals)
+        weights.push_back(std::max<double>(1.0, (double)iv.instrs));
+
+    simpoint::Clustering clustering =
+        simpoint::cluster(vectors, weights, options);
+
+    sel.selected = clustering.representative;
+    sel.ratios = clustering.weight;
+    sel.totalInstrs = db.totalInstrs();
+    for (uint64_t idx : sel.selected)
+        sel.selectedInstrs += sel.intervals[idx].instrs;
+    return sel;
+}
+
+namespace
+{
+
+/** Re-evaluate one interval's instrs/seconds on (possibly) another
+ * trial's database. */
+void
+intervalOn(const TraceDatabase &db, const Interval &iv,
+           uint64_t &instrs, double &seconds)
+{
+    const auto &dispatches = db.dispatches();
+    GT_ASSERT(iv.lastDispatch < dispatches.size(),
+              "selection does not fit this trial's trace (",
+              dispatches.size(), " dispatches)");
+    instrs = 0;
+    seconds = 0.0;
+    for (uint64_t i = iv.firstDispatch; i <= iv.lastDispatch; ++i) {
+        instrs += dispatches[i].profile.instrs;
+        seconds += dispatches[i].seconds;
+    }
+}
+
+} // anonymous namespace
+
+double
+projectedSpi(const TraceDatabase &db, const SubsetSelection &sel)
+{
+    GT_ASSERT(!sel.selected.empty(), "projection from empty selection");
+    GT_ASSERT(sel.selected.size() == sel.ratios.size(),
+              "selection/ratio size mismatch");
+    double spi = 0.0;
+    for (size_t c = 0; c < sel.selected.size(); ++c) {
+        const Interval &iv = sel.intervals[sel.selected[c]];
+        uint64_t instrs;
+        double seconds;
+        intervalOn(db, iv, instrs, seconds);
+        GT_ASSERT(instrs > 0, "selected interval has no instructions");
+        spi += sel.ratios[c] * (seconds / (double)instrs);
+    }
+    return spi;
+}
+
+double
+selectionErrorPct(const TraceDatabase &db, const SubsetSelection &sel)
+{
+    double measured = db.measuredSpi();
+    double projected = projectedSpi(db, sel);
+    return std::abs(measured - projected) / measured * 100.0;
+}
+
+} // namespace gt::core

@@ -1,0 +1,141 @@
+#include "core/selection_io.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace gt::core
+{
+
+namespace
+{
+
+const char *magic = "gtpin-selection v1";
+
+} // anonymous namespace
+
+void
+saveSelection(const SubsetSelection &sel, std::ostream &os)
+{
+    os << magic << '\n';
+    os << "scheme " << (int)sel.scheme << '\n';
+    os << "feature " << (int)sel.feature << '\n';
+    os << "totalInstrs " << sel.totalInstrs << '\n';
+    os << "intervals " << sel.intervals.size() << '\n';
+    for (const Interval &iv : sel.intervals) {
+        os << iv.firstDispatch << ' ' << iv.lastDispatch << ' '
+           << iv.instrs << ' ' << std::setprecision(17)
+           << iv.seconds << '\n';
+    }
+    // The SimPoint-style body: "interval cluster" then
+    // "weight cluster".
+    os << "simpoints " << sel.selected.size() << '\n';
+    for (size_t c = 0; c < sel.selected.size(); ++c)
+        os << sel.selected[c] << ' ' << c << '\n';
+    os << "weights " << sel.ratios.size() << '\n';
+    for (size_t c = 0; c < sel.ratios.size(); ++c)
+        os << std::setprecision(17) << sel.ratios[c] << ' ' << c
+           << '\n';
+    os << "end\n";
+}
+
+SubsetSelection
+loadSelection(std::istream &is)
+{
+    std::string header;
+    std::getline(is, header);
+    if (header != magic)
+        fatal("selection: bad magic '", header, "'");
+
+    auto expect = [&](const char *keyword) {
+        std::string tok;
+        if (!(is >> tok) || tok != keyword)
+            fatal("selection: expected '", keyword, "', got '", tok,
+                  "'");
+    };
+
+    SubsetSelection sel;
+    int value;
+    expect("scheme");
+    if (!(is >> value) || value < 0 || value >= numIntervalSchemes)
+        fatal("selection: invalid scheme");
+    sel.scheme = (IntervalScheme)value;
+    expect("feature");
+    if (!(is >> value) || value < 0 || value >= numFeatureKinds)
+        fatal("selection: invalid feature kind");
+    sel.feature = (FeatureKind)value;
+    expect("totalInstrs");
+    if (!(is >> sel.totalInstrs))
+        fatal("selection: invalid totalInstrs");
+
+    size_t n;
+    expect("intervals");
+    if (!(is >> n))
+        fatal("selection: invalid interval count");
+    sel.intervals.resize(n);
+    for (Interval &iv : sel.intervals) {
+        if (!(is >> iv.firstDispatch >> iv.lastDispatch >>
+              iv.instrs >> iv.seconds)) {
+            fatal("selection: truncated interval list");
+        }
+        if (iv.firstDispatch > iv.lastDispatch)
+            fatal("selection: inverted interval");
+    }
+
+    expect("simpoints");
+    if (!(is >> n))
+        fatal("selection: invalid simpoint count");
+    sel.selected.resize(n);
+    for (size_t c = 0; c < n; ++c) {
+        size_t cluster;
+        if (!(is >> sel.selected[c] >> cluster) || cluster != c)
+            fatal("selection: malformed simpoints block");
+        if (sel.selected[c] >= sel.intervals.size())
+            fatal("selection: simpoint out of range");
+        sel.selectedInstrs += sel.intervals[sel.selected[c]].instrs;
+    }
+
+    expect("weights");
+    if (!(is >> n) || n != sel.selected.size())
+        fatal("selection: weights/simpoints size mismatch");
+    sel.ratios.resize(n);
+    double sum = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+        size_t cluster;
+        if (!(is >> sel.ratios[c] >> cluster) || cluster != c)
+            fatal("selection: malformed weights block");
+        if (sel.ratios[c] <= 0.0)
+            fatal("selection: non-positive weight");
+        sum += sel.ratios[c];
+    }
+    if (sum < 0.999 || sum > 1.001)
+        fatal("selection: weights sum to ", sum, ", expected 1");
+
+    expect("end");
+    return sel;
+}
+
+void
+saveSelectionFile(const SubsetSelection &sel, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    saveSelection(sel, os);
+    if (!os)
+        fatal("write to '", path, "' failed");
+}
+
+SubsetSelection
+loadSelectionFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '", path, "'");
+    return loadSelection(is);
+}
+
+} // namespace gt::core

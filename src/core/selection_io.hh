@@ -1,0 +1,44 @@
+/**
+ * @file
+ * SimPoint-style selection artifacts on disk.
+ *
+ * SimPoint 3.0 — the tool the paper drives — emits its results as a
+ * `.simpoints` file (one "interval-id cluster-id" pair per line) and
+ * a `.weights` file (one "weight cluster-id" pair per line), which
+ * downstream simulators consume to know what to fast-forward to and
+ * how to extrapolate. This module writes and reads the same shape of
+ * artifact for our SubsetSelection, extended with a header capturing
+ * the interval division so a selection can be re-applied to a
+ * replayed trial in another process.
+ */
+
+#ifndef GT_CORE_SELECTION_IO_HH
+#define GT_CORE_SELECTION_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/selection.hh"
+
+namespace gt::core
+{
+
+/** Write @p selection in the simpoints/weights-style format. */
+void saveSelection(const SubsetSelection &selection,
+                   std::ostream &os);
+
+/**
+ * Parse a selection written by saveSelection(). Throws FatalError on
+ * malformed input.
+ */
+SubsetSelection loadSelection(std::istream &is);
+
+/** Convenience file wrappers. @{ */
+void saveSelectionFile(const SubsetSelection &selection,
+                       const std::string &path);
+SubsetSelection loadSelectionFile(const std::string &path);
+/** @} */
+
+} // namespace gt::core
+
+#endif // GT_CORE_SELECTION_IO_HH

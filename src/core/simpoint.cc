@@ -1,0 +1,279 @@
+#include "core/simpoint.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace gt::core::simpoint
+{
+
+namespace
+{
+
+/** Deterministic projection coefficient for (key, dim) in [-1, 1]. */
+double
+projectionCoeff(uint64_t key, int dim)
+{
+    uint64_t h = key ^ (0x9e3779b97f4a7c15ULL * (uint64_t)(dim + 1));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return ((double)(h >> 11) * 0x1.0p-53) * 2.0 - 1.0;
+}
+
+double
+dist2(const Point &a, const Point &b)
+{
+    double acc = 0.0;
+    for (int d = 0; d < projectedDims; ++d) {
+        double diff = a[d] - b[d];
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+struct KMeansResult
+{
+    std::vector<int> assignment;
+    std::vector<Point> centroids;
+    double distortion = 0.0;  //!< weighted sum of squared distances
+};
+
+/** Weighted k-means with k-means++ seeding. */
+KMeansResult
+kmeans(const std::vector<Point> &points,
+       const std::vector<double> &weights, int k, int max_iters,
+       Rng &rng)
+{
+    size_t n = points.size();
+    KMeansResult result;
+    result.centroids.reserve((size_t)k);
+
+    // k-means++ initialization (weighted).
+    std::vector<double> min_d2(n,
+                               std::numeric_limits<double>::max());
+    size_t first = rng.nextBounded(n);
+    result.centroids.push_back(points[first]);
+    while (result.centroids.size() < (size_t)k) {
+        double total = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            min_d2[i] = std::min(
+                min_d2[i], dist2(points[i], result.centroids.back()));
+            total += min_d2[i] * weights[i];
+        }
+        if (total <= 0.0) {
+            // All points coincide with chosen centers; duplicate.
+            result.centroids.push_back(points[rng.nextBounded(n)]);
+            continue;
+        }
+        double pick = rng.nextDouble() * total;
+        double acc = 0.0;
+        size_t chosen = n - 1;
+        for (size_t i = 0; i < n; ++i) {
+            acc += min_d2[i] * weights[i];
+            if (acc >= pick) {
+                chosen = i;
+                break;
+            }
+        }
+        result.centroids.push_back(points[chosen]);
+    }
+
+    result.assignment.assign(n, 0);
+    for (int iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        // Assign.
+        for (size_t i = 0; i < n; ++i) {
+            int best = 0;
+            double best_d = dist2(points[i], result.centroids[0]);
+            for (int c = 1; c < k; ++c) {
+                double d = dist2(points[i], result.centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (result.assignment[i] != best) {
+                result.assignment[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+        // Update.
+        std::vector<Point> sums((size_t)k, Point{});
+        std::vector<double> wsum((size_t)k, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+            int c = result.assignment[i];
+            wsum[(size_t)c] += weights[i];
+            for (int d = 0; d < projectedDims; ++d)
+                sums[(size_t)c][d] += points[i][d] * weights[i];
+        }
+        for (int c = 0; c < k; ++c) {
+            if (wsum[(size_t)c] > 0.0) {
+                for (int d = 0; d < projectedDims; ++d)
+                    result.centroids[(size_t)c][d] =
+                        sums[(size_t)c][d] / wsum[(size_t)c];
+            } else {
+                // Re-seed an empty cluster on a random point.
+                result.centroids[(size_t)c] =
+                    points[rng.nextBounded(n)];
+            }
+        }
+    }
+
+    result.distortion = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        result.distortion += weights[i] *
+            dist2(points[i],
+                  result.centroids[(size_t)result.assignment[i]]);
+    }
+    return result;
+}
+
+/**
+ * Spherical-Gaussian BIC of a clustering (the X-means formulation
+ * SimPoint uses), computed over weighted points.
+ */
+double
+bicScore(const KMeansResult &km, const std::vector<double> &weights,
+         int k)
+{
+    double total_w = 0.0;
+    std::vector<double> cluster_w((size_t)k, 0.0);
+    for (size_t i = 0; i < weights.size(); ++i) {
+        total_w += weights[i];
+        cluster_w[(size_t)km.assignment[i]] += weights[i];
+    }
+    double d = projectedDims;
+    // Pooled variance estimate; floor avoids log(0) on perfect fits.
+    double denom = std::max(total_w - (double)k, 1.0);
+    double sigma2 = std::max(km.distortion / (denom * d), 1e-12);
+
+    double ll = 0.0;
+    for (int c = 0; c < k; ++c) {
+        double rc = cluster_w[(size_t)c];
+        if (rc <= 0.0)
+            continue;
+        ll += rc * std::log(rc / total_w);
+    }
+    ll -= total_w * d / 2.0 * std::log(2.0 * M_PI * sigma2);
+    ll -= (total_w - (double)k) * d / 2.0;
+
+    double params = (double)k * (d + 1.0);
+    return ll - params / 2.0 * std::log(total_w);
+}
+
+} // anonymous namespace
+
+Point
+project(const FeatureVector &vec)
+{
+    Point p{};
+    for (const auto &[key, value] : vec.entries()) {
+        for (int d = 0; d < projectedDims; ++d)
+            p[d] += value * projectionCoeff(key, d);
+    }
+    return p;
+}
+
+Clustering
+cluster(const std::vector<FeatureVector> &vectors,
+        const std::vector<double> &weights,
+        const ClusterOptions &options)
+{
+    GT_ASSERT(!vectors.empty(), "clustering an empty population");
+    GT_ASSERT(vectors.size() == weights.size(),
+              "vectors/weights size mismatch");
+    for (double w : weights)
+        GT_ASSERT(w > 0.0, "non-positive interval weight");
+
+    size_t n = vectors.size();
+    std::vector<Point> points;
+    points.reserve(n);
+    for (const auto &vec : vectors)
+        points.push_back(project(vec));
+
+    int max_k = std::min<int>(options.maxK, (int)n);
+    Rng rng(options.seed);
+
+    // Run k-means for every candidate k and score with BIC.
+    std::vector<KMeansResult> runs;
+    std::vector<double> bics;
+    runs.reserve((size_t)max_k);
+    for (int k = 1; k <= max_k; ++k) {
+        Rng fork = rng.fork();
+        runs.push_back(
+            kmeans(points, weights, k, options.maxIters, fork));
+        bics.push_back(bicScore(runs.back(), weights, k));
+    }
+
+    // SimPoint's acceptance: the smallest k whose BIC reaches the
+    // threshold fraction of the best BIC's range above the worst.
+    double best = *std::max_element(bics.begin(), bics.end());
+    double worst = *std::min_element(bics.begin(), bics.end());
+    double range = best - worst;
+    int chosen_k = max_k;
+    for (int k = 1; k <= max_k; ++k) {
+        double score = range > 0.0
+            ? (bics[(size_t)k - 1] - worst) / range
+            : 1.0;
+        if (score >= options.bicThreshold) {
+            chosen_k = k;
+            break;
+        }
+    }
+
+    const KMeansResult &km = runs[(size_t)chosen_k - 1];
+
+    Clustering out;
+    out.k = chosen_k;
+    out.assignment = km.assignment;
+    out.bic = bics[(size_t)chosen_k - 1];
+    out.representative.assign((size_t)chosen_k, 0);
+    out.weight.assign((size_t)chosen_k, 0.0);
+
+    // Representatives: nearest interval to each centroid; weights:
+    // cluster share of total instruction weight.
+    std::vector<double> best_d((size_t)chosen_k,
+                               std::numeric_limits<double>::max());
+    std::vector<bool> seen((size_t)chosen_k, false);
+    double total_w = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        auto c = (size_t)km.assignment[i];
+        total_w += weights[i];
+        out.weight[c] += weights[i];
+        double d = dist2(points[i], km.centroids[c]);
+        if (d < best_d[c]) {
+            best_d[c] = d;
+            out.representative[c] = i;
+            seen[c] = true;
+        }
+    }
+
+    // Drop empty clusters (k-means can leave them on tiny inputs).
+    Clustering filtered;
+    filtered.bic = out.bic;
+    std::vector<int> remap((size_t)chosen_k, -1);
+    for (int c = 0; c < chosen_k; ++c) {
+        if (!seen[(size_t)c] || out.weight[(size_t)c] <= 0.0)
+            continue;
+        remap[(size_t)c] = filtered.k++;
+        filtered.representative.push_back(
+            out.representative[(size_t)c]);
+        filtered.weight.push_back(out.weight[(size_t)c] / total_w);
+    }
+    filtered.assignment.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        int m = remap[(size_t)km.assignment[i]];
+        GT_ASSERT(m >= 0, "point assigned to an empty cluster");
+        filtered.assignment[i] = m;
+    }
+    return filtered;
+}
+
+} // namespace gt::core::simpoint

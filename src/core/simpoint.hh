@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SimPoint-style clustering over interval feature vectors.
+ *
+ * Reimplements the pipeline of SimPoint 3.0, the tool the paper
+ * feeds its feature vectors to: random linear projection of the
+ * sparse vectors down to 15 dimensions, weighted k-means (intervals
+ * weigh as many instructions as they contain — SimPoint 3.0's
+ * variable-length-interval support), BIC-based selection of the
+ * cluster count up to a user maximum (10 throughout the paper), and
+ * per-cluster representative selection: the interval nearest each
+ * centroid, with a representation ratio equal to the cluster's
+ * share of total instructions.
+ */
+
+#ifndef GT_CORE_SIMPOINT_HH
+#define GT_CORE_SIMPOINT_HH
+
+#include <array>
+
+#include "common/rng.hh"
+#include "core/features.hh"
+
+namespace gt::core::simpoint
+{
+
+/** Dimensionality after random projection (SimPoint's default 15). */
+constexpr int projectedDims = 15;
+
+/** A projected, dense feature point. */
+using Point = std::array<double, projectedDims>;
+
+/**
+ * Random linear projection of a sparse vector: each sparse key
+ * hashes to a deterministic pseudo-random direction, so the
+ * projection matrix never needs materializing over the unbounded
+ * key space.
+ */
+Point project(const FeatureVector &vec);
+
+/** Result of clustering one interval population. */
+struct Clustering
+{
+    int k = 0;
+    /** Cluster id per interval. */
+    std::vector<int> assignment;
+    /** Interval index chosen to represent each cluster. */
+    std::vector<uint64_t> representative;
+    /**
+     * Representation ratio per cluster: the cluster's share of the
+     * total weight (instructions), the paper's extrapolation
+     * weights.
+     */
+    std::vector<double> weight;
+    /** Bayesian information criterion of the accepted clustering. */
+    double bic = 0.0;
+};
+
+/** Clustering options. */
+struct ClusterOptions
+{
+    int maxK = 10;          //!< the paper's setting throughout
+    int maxIters = 30;      //!< k-means iteration cap
+    uint64_t seed = 0x5eedULL;
+    /**
+     * Accept the smallest k whose BIC reaches this fraction of the
+     * best BIC's range above the worst (SimPoint's criterion).
+     */
+    double bicThreshold = 0.9;
+};
+
+/**
+ * Cluster @p vectors with instruction-count @p weights and pick
+ * representatives. @p weights must be positive and the same length
+ * as @p vectors. May return fewer than maxK clusters when BIC says
+ * a smaller k explains the population (the paper notes SimPoint
+ * "may return fewer than this maximum").
+ */
+Clustering cluster(const std::vector<FeatureVector> &vectors,
+                   const std::vector<double> &weights,
+                   const ClusterOptions &options = {});
+
+} // namespace gt::core::simpoint
+
+#endif // GT_CORE_SIMPOINT_HH

@@ -1,0 +1,82 @@
+#include "core/trace_db.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace gt::core
+{
+
+TraceDatabase
+TraceDatabase::build(std::vector<gtpin::DispatchProfile> profiles,
+                     const std::vector<cfl::KernelTiming> &timings,
+                     const std::vector<ocl::ApiCallRecord> &call_stream)
+{
+    GT_ASSERT(profiles.size() == timings.size(),
+              "GT-Pin saw ", profiles.size(),
+              " dispatches but CoFluent timed ", timings.size());
+
+    // Walk the host call stream to assign each dispatch (by seq) the
+    // synchronization epoch it falls in: the epoch counter advances
+    // at each sync call that actually separated kernel work.
+    std::map<uint64_t, uint64_t> epoch_of;
+    uint64_t epoch = 0;
+    bool epoch_has_work = false;
+    for (const auto &call : call_stream) {
+        switch (ocl::apiCategory(call.id)) {
+          case ocl::ApiCategory::Kernel:
+            epoch_of[call.dispatchSeq] = epoch;
+            epoch_has_work = true;
+            break;
+          case ocl::ApiCategory::Synchronization:
+            if (epoch_has_work) {
+                ++epoch;
+                epoch_has_work = false;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    TraceDatabase db;
+    db.records.reserve(profiles.size());
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        GT_ASSERT(profiles[i].seq == timings[i].seq,
+                  "profile/timing sequence mismatch at index ", i);
+        DispatchRecord rec;
+        rec.profile = std::move(profiles[i]);
+        rec.seconds = timings[i].seconds;
+        auto it = epoch_of.find(rec.profile.seq);
+        GT_ASSERT(it != epoch_of.end(),
+                  "dispatch ", rec.profile.seq,
+                  " missing from the host call stream");
+        rec.syncEpoch = it->second;
+        db.instrTotal += rec.profile.instrs;
+        db.secondsTotal += rec.seconds;
+        db.records.push_back(std::move(rec));
+    }
+
+    // Records must arrive in dispatch order with monotone epochs.
+    for (size_t i = 1; i < db.records.size(); ++i) {
+        GT_ASSERT(db.records[i].profile.seq >
+                      db.records[i - 1].profile.seq,
+                  "dispatch records out of order");
+        GT_ASSERT(db.records[i].syncEpoch >=
+                      db.records[i - 1].syncEpoch,
+                  "sync epochs out of order");
+    }
+
+    if (!db.records.empty())
+        db.syncEpochs = db.records.back().syncEpoch + 1;
+    return db;
+}
+
+double
+TraceDatabase::measuredSpi() const
+{
+    GT_ASSERT(instrTotal > 0, "measured SPI of an empty database");
+    return secondsTotal / (double)instrTotal;
+}
+
+} // namespace gt::core

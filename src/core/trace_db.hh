@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The joined profiling database the selection pipeline runs on.
+ *
+ * Subset selection needs two independent data sources the paper
+ * collects in one native profiling run: the GT-Pin custom tool's
+ * per-invocation device profiles (instruction counts, basic-block
+ * vectors, bytes read/written) and the CoFluent host trace (API call
+ * stream with synchronization points, per-kernel wall times).
+ * TraceDatabase joins them by dispatch sequence number and marks
+ * which dispatches begin a new synchronization epoch — the only
+ * places a GPU simulation interval may legally start or stop.
+ */
+
+#ifndef GT_CORE_TRACE_DB_HH
+#define GT_CORE_TRACE_DB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfl/tracer.hh"
+#include "gtpin/kernel_profile.hh"
+
+namespace gt::core
+{
+
+/** One kernel invocation, fully joined. */
+struct DispatchRecord
+{
+    gtpin::DispatchProfile profile;  //!< GT-Pin device profile
+    double seconds = 0.0;            //!< CoFluent invocation time
+    /** Index of the synchronization epoch this dispatch belongs to
+     * (increments at every sync call that separated dispatches). */
+    uint64_t syncEpoch = 0;
+};
+
+/** The whole profiled execution of one application. */
+class TraceDatabase
+{
+  public:
+    /**
+     * Join GT-Pin profiles with CoFluent timings and the API call
+     * stream. @p profiles and @p timings must cover the same
+     * dispatches (matched by sequence number, in order).
+     */
+    static TraceDatabase
+    build(std::vector<gtpin::DispatchProfile> profiles,
+          const std::vector<cfl::KernelTiming> &timings,
+          const std::vector<ocl::ApiCallRecord> &call_stream);
+
+    const std::vector<DispatchRecord> &dispatches() const
+    {
+        return records;
+    }
+
+    uint64_t numDispatches() const { return records.size(); }
+
+    /** Total dynamic application instructions across dispatches. */
+    uint64_t totalInstrs() const { return instrTotal; }
+
+    /** Total kernel execution seconds across dispatches. */
+    double totalSeconds() const { return secondsTotal; }
+
+    /** Number of synchronization epochs containing dispatches. */
+    uint64_t numSyncEpochs() const { return syncEpochs; }
+
+    /**
+     * Whole-program measured seconds-per-instruction: the left side
+     * of the paper's Eq. 1.
+     */
+    double measuredSpi() const;
+
+  private:
+    std::vector<DispatchRecord> records;
+    uint64_t instrTotal = 0;
+    double secondsTotal = 0.0;
+    uint64_t syncEpochs = 0;
+};
+
+} // namespace gt::core
+
+#endif // GT_CORE_TRACE_DB_HH

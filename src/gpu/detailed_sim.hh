@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Cycle-level detailed GPU simulator.
+ *
+ * This is the expensive tool the paper's methodology exists to avoid
+ * running on whole programs: an in-order, scoreboarded SMT EU model
+ * that walks every dynamic instruction of a dispatch, tracking
+ * register/flag dependences, issue-port occupancy, memory latency,
+ * and a shared bandwidth queue. Architects would run thousands of
+ * design points through something like this; the subset-selection
+ * pipeline makes that affordable by simulating only representative
+ * kernel invocations and extrapolating.
+ *
+ * The model simulates one EU's SMT thread contexts explicitly (they
+ * replay the dispatch's recorded control-flow trace) and scales to
+ * the full machine by waves, which is sound because dispatch threads
+ * are homogeneous in our workloads and EUs are identical.
+ */
+
+#ifndef GT_GPU_DETAILED_SIM_HH
+#define GT_GPU_DETAILED_SIM_HH
+
+#include "gpu/executor.hh"
+#include "gpu/timing.hh"
+
+namespace gt::gpu
+{
+
+/** Outcome of detail-simulating one dispatch. */
+struct DetailedResult
+{
+    double cycles = 0.0;           //!< modeled GPU cycles, full dispatch
+    double seconds = 0.0;          //!< modeled wall time
+    uint64_t simulatedInstrs = 0;  //!< dynamic instructions walked
+    double spi = 0.0;              //!< seconds per (application) instr
+};
+
+/** In-order SMT EU pipeline model. */
+class DetailedSimulator
+{
+  public:
+    /**
+     * @param config   design point to simulate
+     * @param freq_mhz clock (0 = the design's maximum)
+     */
+    explicit DetailedSimulator(const DeviceConfig &config,
+                               double freq_mhz = 0.0);
+
+    /**
+     * Simulate @p dispatch in detail. @p executor supplies the
+     * functional control-flow trace (its device memory is untouched).
+     */
+    DetailedResult simulate(Executor &executor,
+                            const Dispatch &dispatch);
+
+    /** Dependent-use latencies per opcode class, in cycles. */
+    void setAluLatency(double cycles) { aluLatency = cycles; }
+    void setMathLatency(double cycles) { mathLatency = cycles; }
+
+  private:
+    const DeviceConfig config;
+    double freq;
+    double aluLatency = 2.0;
+    double mathLatency = 8.0;
+};
+
+} // namespace gt::gpu
+
+#endif // GT_GPU_DETAILED_SIM_HH

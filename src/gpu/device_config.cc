@@ -1,0 +1,40 @@
+#include "gpu/device_config.hh"
+
+namespace gt::gpu
+{
+
+DeviceConfig
+DeviceConfig::hd4000()
+{
+    DeviceConfig cfg;
+    cfg.name = "Intel HD 4000";
+    cfg.generation = "Ivy Bridge";
+    cfg.numEus = 16;
+    cfg.numSubslices = 2;
+    cfg.threadsPerEu = 8;
+    cfg.fpuLanesPerEu = 4;
+    cfg.maxFreqMhz = 1150.0;
+    cfg.memBandwidthGBs = 25.6;
+    cfg.memLatencyNs = 180.0;
+    cfg.llcBytes = 4ull << 20;
+    return cfg;
+}
+
+DeviceConfig
+DeviceConfig::hd4600()
+{
+    DeviceConfig cfg;
+    cfg.name = "Intel HD 4600";
+    cfg.generation = "Haswell";
+    cfg.numEus = 20;
+    cfg.numSubslices = 2;
+    cfg.threadsPerEu = 7;
+    cfg.fpuLanesPerEu = 4;
+    cfg.maxFreqMhz = 1250.0;
+    cfg.memBandwidthGBs = 25.6;
+    cfg.memLatencyNs = 170.0;
+    cfg.llcBytes = 6ull << 20;
+    return cfg;
+}
+
+} // namespace gt::gpu

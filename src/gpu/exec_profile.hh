@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-dispatch execution profiles.
+ *
+ * An ExecProfile is the ground truth the rest of the system consumes:
+ * dynamic instruction counts, per-basic-block execution counts,
+ * opcode-class and SIMD-width histograms, and memory traffic, for one
+ * kernel dispatch aggregated across all hardware threads — the same
+ * aggregation convention the paper uses for data below kernel
+ * granularity. Everything except the block counts and cycles is
+ * derived exactly from blockCounts x static block contents.
+ */
+
+#ifndef GT_GPU_EXEC_PROFILE_HH
+#define GT_GPU_EXEC_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace gt::gpu
+{
+
+/** Number of distinct SIMD width bins (1, 2, 4, 8, 16). */
+constexpr int numSimdBins = 5;
+
+/** @return the histogram bin for a SIMD width (1->0 ... 16->4). */
+int simdBin(uint8_t width);
+
+/** @return the SIMD width for a histogram bin (0->1 ... 4->16). */
+uint8_t simdBinWidth(int bin);
+
+/** Execution statistics for one kernel dispatch. */
+struct ExecProfile
+{
+    /** Hardware threads the dispatch ran (ceil(globalSize/simd)). */
+    uint64_t numThreads = 0;
+
+    /** Dynamic application instructions (instrumentation excluded). */
+    uint64_t dynInstrs = 0;
+
+    /** Dynamic injected instrumentation instructions. */
+    uint64_t instrumentationInstrs = 0;
+
+    /** Execution count of each basic block, summed over threads. */
+    std::vector<uint64_t> blockCounts;
+
+    /** Dynamic count per opcode (application instructions only). */
+    std::array<uint64_t, isa::numOpcodes> opcodeCounts{};
+
+    /** Dynamic count per opcode class (application only). */
+    std::array<uint64_t, isa::numOpClasses> classCounts{};
+
+    /** Dynamic count per SIMD width bin (application only). */
+    std::array<uint64_t, numSimdBins> simdCounts{};
+
+    /** Bytes moved by Send messages, summed over threads. */
+    uint64_t bytesRead = 0;
+    uint64_t bytesWritten = 0;
+
+    /** Dynamic Send message count. */
+    uint64_t sendCount = 0;
+
+    /**
+     * EU issue cycles summed across threads, including
+     * instrumentation cost. The timing model turns this into time.
+     */
+    double threadCycles = 0.0;
+
+    /**
+     * Fill the derived fields (opcode/class/SIMD counts, bytes,
+     * dynInstrs, threadCycles) from blockCounts and the static
+     * contents of @p bin. blockCounts must already be populated.
+     */
+    void deriveFromBlocks(const isa::KernelBinary &bin);
+
+    /** Accumulate another profile (e.g. across dispatches). */
+    void accumulate(const ExecProfile &other);
+};
+
+/**
+ * @return the EU issue-cycle cost of one instruction. SIMD lanes
+ * beyond the EU's FPU width take extra issue cycles; transcendental
+ * operations and sends are multi-cycle; instrumentation instructions
+ * pay a trace-buffer-update cost.
+ */
+double issueCycles(const isa::Instruction &ins, uint32_t fpu_lanes);
+
+} // namespace gt::gpu
+
+#endif // GT_GPU_EXEC_PROFILE_HH

@@ -1,0 +1,600 @@
+#include "gpu/executor.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace gt::gpu
+{
+
+using isa::AddrSpace;
+using isa::CmpOp;
+using isa::FlagMode;
+using isa::Instruction;
+using isa::KernelBinary;
+using isa::Opcode;
+using isa::Operand;
+
+namespace
+{
+
+/** Per-thread scratch local (shared) memory size. */
+constexpr uint64_t localMemBytes = 16 * 1024;
+
+/** Maximum subroutine call depth. */
+constexpr size_t maxCallDepth = 64;
+
+inline float
+asFloat(uint32_t bits)
+{
+    return std::bit_cast<float>(bits);
+}
+
+inline uint32_t
+asBits(float value)
+{
+    return std::bit_cast<uint32_t>(value);
+}
+
+} // anonymous namespace
+
+/** Architectural state of one hardware thread. */
+struct Executor::ThreadCtx
+{
+    uint32_t regs[isa::numRegisters][isa::maxSimdWidth];
+    uint8_t flags[isa::numFlags][isa::maxSimdWidth];
+    std::vector<uint32_t> callStack;
+    std::vector<uint8_t> local;
+    double issueCycles = 0.0;
+    double lastTimer = 0.0;
+    uint64_t instrsExecuted = 0;
+
+    ThreadCtx() : local(localMemBytes, 0) { callStack.reserve(8); }
+
+    void
+    reset(const Dispatch &dispatch, uint64_t thread_idx,
+          uint16_t max_reg)
+    {
+        std::memset(regs, 0,
+                    sizeof(regs[0]) * ((size_t)max_reg + 1));
+        std::memset(flags, 0, sizeof(flags));
+        std::fill(local.begin(), local.end(), 0);
+        callStack.clear();
+        issueCycles = 0.0;
+        lastTimer = 0.0;
+        instrsExecuted = 0;
+
+        uint64_t base = thread_idx * dispatch.simdWidth;
+        for (int lane = 0; lane < isa::maxSimdWidth; ++lane)
+            regs[0][lane] = (uint32_t)(base + (uint64_t)lane);
+        regs[1][0] = (uint32_t)thread_idx;
+        regs[1][1] = (uint32_t)dispatch.globalSize;
+        regs[1][2] = dispatch.simdWidth;
+        for (size_t a = 0; a < dispatch.args.size(); ++a) {
+            for (int lane = 0; lane < isa::maxSimdWidth; ++lane)
+                regs[2 + a][lane] = dispatch.args[a];
+        }
+    }
+};
+
+Executor::Executor(const DeviceConfig &config_, DeviceMemory &memory_)
+    : config(config_), memory(memory_)
+{
+}
+
+const Executor::Plan &
+Executor::plan(const KernelBinary *bin)
+{
+    auto it = plans.find(bin);
+    if (it != plans.end()) {
+        const Plan &cached = it->second;
+        if (cached.name == bin->name &&
+            cached.numBlocks == bin->blocks.size() &&
+            cached.numInstrs == bin->staticInstrCount()) {
+            return cached;
+        }
+        // A different binary now lives at this address.
+        plans.erase(it);
+    }
+
+    Plan p;
+    p.name = bin->name;
+    p.numBlocks = bin->blocks.size();
+    p.numInstrs = bin->staticInstrCount();
+    p.rel = isa::analyzeRelevance(*bin);
+    p.blockCycles.resize(bin->blocks.size());
+    p.blockInstrs.resize(bin->blocks.size());
+    p.relevantIdx.resize(bin->blocks.size());
+    for (const auto &block : bin->blocks) {
+        double cycles = 0.0;
+        for (const auto &ins : block.instrs)
+            cycles += issueCycles(ins, config.fpuLanesPerEu);
+        p.blockCycles[block.id] = cycles;
+        p.blockInstrs[block.id] = block.instrs.size();
+        auto &idx = p.relevantIdx[block.id];
+        for (uint16_t i = 0; i < block.instrs.size(); ++i) {
+            if (p.rel.relevant[block.id][i])
+                idx.push_back(i);
+        }
+    }
+    return plans.emplace(bin, std::move(p)).first->second;
+}
+
+const isa::Relevance &
+Executor::relevance(const KernelBinary *bin)
+{
+    return plan(bin).rel;
+}
+
+ExecProfile
+Executor::run(const Dispatch &dispatch, Mode mode, TraceBuffer *trace,
+              const MemAccessFn &mem_access)
+{
+    GT_ASSERT(dispatch.binary, "dispatch without binary");
+    GT_ASSERT(dispatch.globalSize > 0, "dispatch with empty ND-range");
+    GT_ASSERT(dispatch.simdWidth == 8 || dispatch.simdWidth == 16,
+              "dispatch SIMD width must be 8 or 16");
+    GT_ASSERT(dispatch.args.size() >= dispatch.binary->numArgs,
+              dispatch.binary->name, ": expected ",
+              dispatch.binary->numArgs, " args, got ",
+              dispatch.args.size());
+
+    const KernelBinary &bin = *dispatch.binary;
+    const Plan &p = plan(&bin);
+
+    bool fast = mode == Mode::Fast;
+    if (fast && (p.rel.needsFullExec || mem_access))
+        fast = false;
+
+    uint64_t num_threads = dispatch.numThreads();
+
+    ExecProfile profile;
+    profile.numThreads = num_threads;
+    profile.blockCounts.assign(bin.blocks.size(), 0);
+
+    std::vector<uint64_t> trace_deltas(trace ? trace->size() : 0, 0);
+
+    ThreadCtx ctx;
+
+    auto run_scaled = [&](uint64_t thread_idx, uint64_t weight) {
+        std::vector<uint64_t> counts(bin.blocks.size(), 0);
+        std::vector<uint64_t> deltas(trace_deltas.size(), 0);
+        double cycles = runThread(dispatch, thread_idx, fast, p, ctx,
+                                  counts, deltas, mem_access);
+        for (size_t b = 0; b < counts.size(); ++b)
+            profile.blockCounts[b] += counts[b] * weight;
+        for (size_t s = 0; s < deltas.size(); ++s)
+            trace_deltas[s] += deltas[s] * (uint64_t)weight;
+        profile.threadCycles += cycles * (double)weight;
+    };
+
+    if (fast && !p.rel.threadDependent) {
+        // Every thread behaves identically: run one, scale exactly.
+        run_scaled(0, num_threads);
+    } else if (fast && num_threads > maxExplicitThreads) {
+        // Thread-dependent control at large scale: run a stratified
+        // sample; each sampled thread stands for its stratum so the
+        // weights cover every thread. The in-stratum position is
+        // drawn from a deterministic hash — a fixed stride can alias
+        // with the kernel's own thread-id arithmetic.
+        uint64_t samples = maxExplicitThreads;
+        uint64_t mix_state = 0x9e3779b97f4a7c15ULL;
+        for (uint64_t i = 0; i < samples; ++i) {
+            uint64_t begin = i * num_threads / samples;
+            uint64_t end = (i + 1) * num_threads / samples;
+            uint64_t pick = begin + splitmix64(mix_state) %
+                                        (end - begin);
+            run_scaled(pick, end - begin);
+        }
+    } else {
+        for (uint64_t t = 0; t < num_threads; ++t)
+            run_scaled(t, 1);
+    }
+
+    profile.deriveFromBlocks(bin);
+
+    if (trace) {
+        for (size_t s = 0; s < trace_deltas.size(); ++s) {
+            if (trace_deltas[s])
+                trace->add((uint32_t)s, trace_deltas[s]);
+        }
+    }
+    return profile;
+}
+
+std::vector<uint32_t>
+Executor::blockTrace(const Dispatch &dispatch, uint64_t thread_idx,
+                     uint64_t max_len)
+{
+    GT_ASSERT(dispatch.binary, "dispatch without binary");
+    const Plan &p = plan(dispatch.binary);
+    bool fast = !p.rel.needsFullExec;
+    ThreadCtx ctx;
+    std::vector<uint64_t> counts(dispatch.binary->blocks.size(), 0);
+    // Size a scratch delta vector so instrumented binaries can also
+    // be traced (their prof ops still execute).
+    uint32_t max_slot = 0;
+    for (const auto &block : dispatch.binary->blocks) {
+        for (const auto &ins : block.instrs) {
+            if (ins.cls() == isa::OpClass::Instrumentation)
+                max_slot = std::max(max_slot, ins.profSlot + 1);
+        }
+    }
+    std::vector<uint64_t> deltas(max_slot, 0);
+    std::vector<uint32_t> trace;
+    runThread(dispatch, thread_idx, fast, p, ctx, counts, deltas, {},
+              &trace, max_len);
+    return trace;
+}
+
+double
+Executor::runThread(const Dispatch &dispatch, uint64_t thread_idx,
+                    bool fast, const Plan &p, ThreadCtx &ctx,
+                    std::vector<uint64_t> &block_counts,
+                    std::vector<uint64_t> &trace_deltas,
+                    const MemAccessFn &mem_access,
+                    std::vector<uint32_t> *block_trace,
+                    uint64_t trace_max_len)
+{
+    const KernelBinary &bin = *dispatch.binary;
+    ctx.reset(dispatch, thread_idx, bin.maxReg);
+
+    auto read_lane = [&](const Operand &opnd, int lane) -> uint32_t {
+        switch (opnd.kind) {
+          case Operand::Kind::Imm:
+            return opnd.imm;
+          case Operand::Kind::Reg:
+            return ctx.regs[opnd.reg][lane];
+          default:
+            panic(bin.name, ": read of absent operand");
+        }
+    };
+
+    auto prof_slot = [&](const Instruction &ins) -> uint64_t & {
+        GT_ASSERT(!trace_deltas.empty(),
+                  bin.name, ": instrumented binary executed without "
+                  "a trace buffer");
+        GT_ASSERT(ins.profSlot < trace_deltas.size(),
+                  bin.name, ": trace slot out of range");
+        return trace_deltas[ins.profSlot];
+    };
+
+    uint32_t pc = 0;
+    bool running = true;
+    while (running) {
+        const isa::BasicBlock &block = bin.blocks[pc];
+        if (block_trace) {
+            if (block_trace->size() >= trace_max_len)
+                break;
+            block_trace->push_back(pc);
+        }
+        ++block_counts[pc];
+        ctx.issueCycles += p.blockCycles[pc];
+        ctx.instrsExecuted += p.blockInstrs[pc];
+        if (ctx.instrsExecuted > threadInstrLimit) {
+            panic(bin.name, ": thread ", thread_idx, " exceeded the ",
+                  threadInstrLimit, "-instruction runaway limit");
+        }
+
+        uint32_t next_pc = pc + 1;
+        bool terminated = false;
+
+        auto exec = [&](const Instruction &ins) {
+            int width = ins.simdWidth;
+            switch (ins.op) {
+              case Opcode::Mov:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] = read_lane(ins.src0, l);
+                break;
+              case Opcode::Sel:
+                for (int l = 0; l < width; ++l) {
+                    ctx.regs[ins.dst][l] = ctx.flags[ins.flag][l]
+                        ? read_lane(ins.src0, l)
+                        : read_lane(ins.src1, l);
+                }
+                break;
+              case Opcode::And:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] =
+                        read_lane(ins.src0, l) & read_lane(ins.src1, l);
+                break;
+              case Opcode::Or:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] =
+                        read_lane(ins.src0, l) | read_lane(ins.src1, l);
+                break;
+              case Opcode::Xor:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] =
+                        read_lane(ins.src0, l) ^ read_lane(ins.src1, l);
+                break;
+              case Opcode::Not:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] = ~read_lane(ins.src0, l);
+                break;
+              case Opcode::Shl:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] = read_lane(ins.src0, l)
+                        << (read_lane(ins.src1, l) & 31);
+                break;
+              case Opcode::Shr:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] = read_lane(ins.src0, l) >>
+                        (read_lane(ins.src1, l) & 31);
+                break;
+              case Opcode::Asr:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] = (uint32_t)(
+                        (int32_t)read_lane(ins.src0, l) >>
+                        (read_lane(ins.src1, l) & 31));
+                break;
+              case Opcode::Cmp:
+                for (int l = 0; l < width; ++l) {
+                    ctx.flags[ins.flag][l] =
+                        isa::evalCmp(ins.cmpOp, read_lane(ins.src0, l),
+                                     read_lane(ins.src1, l));
+                }
+                break;
+              case Opcode::Add:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] =
+                        read_lane(ins.src0, l) + read_lane(ins.src1, l);
+                break;
+              case Opcode::Sub:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] =
+                        read_lane(ins.src0, l) - read_lane(ins.src1, l);
+                break;
+              case Opcode::Mul:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] =
+                        read_lane(ins.src0, l) * read_lane(ins.src1, l);
+                break;
+              case Opcode::Mad:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] =
+                        read_lane(ins.src0, l) * read_lane(ins.src1, l)
+                        + read_lane(ins.src2, l);
+                break;
+              case Opcode::Min:
+                for (int l = 0; l < width; ++l) {
+                    int32_t a = (int32_t)read_lane(ins.src0, l);
+                    int32_t b = (int32_t)read_lane(ins.src1, l);
+                    ctx.regs[ins.dst][l] = (uint32_t)(a < b ? a : b);
+                }
+                break;
+              case Opcode::Max:
+                for (int l = 0; l < width; ++l) {
+                    int32_t a = (int32_t)read_lane(ins.src0, l);
+                    int32_t b = (int32_t)read_lane(ins.src1, l);
+                    ctx.regs[ins.dst][l] = (uint32_t)(a > b ? a : b);
+                }
+                break;
+              case Opcode::Avg:
+                for (int l = 0; l < width; ++l) {
+                    uint64_t a = read_lane(ins.src0, l);
+                    uint64_t b = read_lane(ins.src1, l);
+                    ctx.regs[ins.dst][l] = (uint32_t)((a + b + 1) >> 1);
+                }
+                break;
+              case Opcode::FAdd:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] =
+                        asBits(asFloat(read_lane(ins.src0, l)) +
+                               asFloat(read_lane(ins.src1, l)));
+                break;
+              case Opcode::FMul:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] =
+                        asBits(asFloat(read_lane(ins.src0, l)) *
+                               asFloat(read_lane(ins.src1, l)));
+                break;
+              case Opcode::FMad:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] =
+                        asBits(asFloat(read_lane(ins.src0, l)) *
+                                   asFloat(read_lane(ins.src1, l)) +
+                               asFloat(read_lane(ins.src2, l)));
+                break;
+              case Opcode::FDiv:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] =
+                        asBits(asFloat(read_lane(ins.src0, l)) /
+                               asFloat(read_lane(ins.src1, l)));
+                break;
+              case Opcode::Frc:
+                for (int l = 0; l < width; ++l) {
+                    float v = asFloat(read_lane(ins.src0, l));
+                    ctx.regs[ins.dst][l] =
+                        asBits(v - std::floor(v));
+                }
+                break;
+              case Opcode::Sqrt:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] = asBits(
+                        std::sqrt(asFloat(read_lane(ins.src0, l))));
+                break;
+              case Opcode::Rsqrt:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] = asBits(1.0f /
+                        std::sqrt(asFloat(read_lane(ins.src0, l))));
+                break;
+              case Opcode::Sin:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] = asBits(
+                        std::sin(asFloat(read_lane(ins.src0, l))));
+                break;
+              case Opcode::Cos:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] = asBits(
+                        std::cos(asFloat(read_lane(ins.src0, l))));
+                break;
+              case Opcode::Exp:
+                for (int l = 0; l < width; ++l)
+                    ctx.regs[ins.dst][l] = asBits(
+                        std::exp2(asFloat(read_lane(ins.src0, l))));
+                break;
+              case Opcode::Log:
+                for (int l = 0; l < width; ++l) {
+                    float v = asFloat(read_lane(ins.src0, l));
+                    ctx.regs[ins.dst][l] =
+                        asBits(v > 0.0f ? std::log2(v) : 0.0f);
+                }
+                break;
+              case Opcode::Dp4:
+                for (int l = 0; l < width; ++l) {
+                    int base = l & ~3;
+                    float acc = 0.0f;
+                    for (int k = 0; k < 4; ++k) {
+                        acc += asFloat(read_lane(ins.src0, base + k)) *
+                            asFloat(read_lane(ins.src1, base + k));
+                    }
+                    ctx.regs[ins.dst][l] = asBits(acc);
+                }
+                break;
+              case Opcode::Lrp:
+                for (int l = 0; l < width; ++l) {
+                    float t = asFloat(read_lane(ins.src0, l));
+                    float a = asFloat(read_lane(ins.src1, l));
+                    float b = asFloat(read_lane(ins.src2, l));
+                    ctx.regs[ins.dst][l] =
+                        asBits(t * a + (1.0f - t) * b);
+                }
+                break;
+              case Opcode::Pln:
+                for (int l = 0; l < width; ++l) {
+                    float a = asFloat(read_lane(ins.src0, l));
+                    float b = asFloat(read_lane(ins.src1, l));
+                    float c = asFloat(read_lane(ins.src2, l));
+                    ctx.regs[ins.dst][l] = asBits(a * b + c);
+                }
+                break;
+              case Opcode::Send: {
+                bool is_local = ins.send.space == AddrSpace::Local;
+                for (int l = 0; l < width; ++l) {
+                    uint64_t addr =
+                        (uint64_t)ctx.regs[ins.send.addrReg][l] +
+                        (int64_t)ins.send.offset;
+                    if (is_local) {
+                        uint64_t off = addr % (localMemBytes - 4);
+                        if (ins.send.isWrite) {
+                            uint32_t v = read_lane(ins.src0, l);
+                            std::memcpy(ctx.local.data() + off, &v, 4);
+                        } else {
+                            uint32_t v;
+                            std::memcpy(&v, ctx.local.data() + off, 4);
+                            ctx.regs[ins.dst][l] = v;
+                        }
+                        continue;
+                    }
+                    if (ins.send.isWrite) {
+                        uint32_t v = read_lane(ins.src0, l);
+                        for (int b = 0; b < ins.send.bytesPerLane;
+                             b += 4) {
+                            memory.write32(addr + (uint64_t)b, v);
+                        }
+                    } else {
+                        ctx.regs[ins.dst][l] = memory.read32(addr);
+                    }
+                    if (mem_access) {
+                        mem_access(addr, ins.send.bytesPerLane,
+                                   ins.send.isWrite);
+                    }
+                }
+                break;
+              }
+              case Opcode::Jmpi:
+                next_pc = (uint32_t)ins.target;
+                break;
+              case Opcode::Brc:
+              case Opcode::Brnc: {
+                bool cond;
+                switch (ins.flagMode) {
+                  case FlagMode::Lane0:
+                    cond = ctx.flags[ins.flag][0];
+                    break;
+                  case FlagMode::Any: {
+                    cond = false;
+                    for (int l = 0; l < width; ++l)
+                        cond = cond || ctx.flags[ins.flag][l];
+                    break;
+                  }
+                  case FlagMode::All: {
+                    cond = true;
+                    for (int l = 0; l < width; ++l)
+                        cond = cond && ctx.flags[ins.flag][l];
+                    break;
+                  }
+                  default:
+                    panic("invalid flag mode");
+                }
+                if (ins.op == Opcode::Brnc)
+                    cond = !cond;
+                if (cond)
+                    next_pc = (uint32_t)ins.target;
+                break;
+              }
+              case Opcode::Call:
+                GT_ASSERT(ctx.callStack.size() < maxCallDepth,
+                          bin.name, ": call stack overflow");
+                ctx.callStack.push_back(pc + 1);
+                next_pc = (uint32_t)ins.target;
+                break;
+              case Opcode::Ret:
+                GT_ASSERT(!ctx.callStack.empty(),
+                          bin.name, ": ret with empty call stack");
+                next_pc = ctx.callStack.back();
+                ctx.callStack.pop_back();
+                break;
+              case Opcode::Halt:
+                terminated = true;
+                break;
+              case Opcode::ProfCount:
+              case Opcode::ProfMem:
+                prof_slot(ins) += ins.profArg;
+                break;
+              case Opcode::ProfAdd:
+                prof_slot(ins) += read_lane(ins.src0, 0);
+                break;
+              case Opcode::ProfTimer: {
+                double now = ctx.issueCycles;
+                prof_slot(ins) +=
+                    (uint64_t)(now - ctx.lastTimer);
+                ctx.lastTimer = now;
+                break;
+              }
+              default:
+                panic(bin.name, ": unimplemented opcode ",
+                      isa::opcodeName(ins.op));
+            }
+        };
+
+        if (fast) {
+            for (uint16_t i : p.relevantIdx[pc]) {
+                exec(block.instrs[i]);
+                if (terminated)
+                    break;
+            }
+        } else {
+            for (const auto &ins : block.instrs) {
+                exec(ins);
+                if (terminated)
+                    break;
+            }
+        }
+
+        if (terminated)
+            break;
+        GT_ASSERT(next_pc < bin.blocks.size(),
+                  bin.name, ": fell off the end of the kernel");
+        pc = next_pc;
+    }
+
+    return ctx.issueCycles;
+}
+
+} // namespace gt::gpu

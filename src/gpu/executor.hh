@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Functional execution of kernel dispatches on the modeled GPU.
+ *
+ * The executor interprets kernel binaries over hardware threads, each
+ * covering simdWidth work items. Two modes are offered:
+ *
+ *  - Full: every instruction of every thread is evaluated, including
+ *    memory contents. Required for cache simulation (per-access
+ *    callbacks) and used by the semantic unit tests.
+ *  - Fast: only control-relevant instructions (see isa/slice.hh) are
+ *    evaluated; everything else is counted at basic-block grain. When
+ *    a kernel's control flow is thread-invariant, one representative
+ *    thread runs and counts scale by the thread count, which is what
+ *    makes profiling applications with paper-scale dynamic
+ *    instruction counts (10^11+) tractable.
+ *
+ * Instrumentation pseudo-instructions injected by the GT-Pin rewriter
+ * execute in both modes, accumulating into the TraceBuffer, so
+ * profiles are produced identically regardless of mode.
+ */
+
+#ifndef GT_GPU_EXECUTOR_HH
+#define GT_GPU_EXECUTOR_HH
+
+#include <functional>
+#include <unordered_map>
+
+#include "gpu/device_config.hh"
+#include "gpu/exec_profile.hh"
+#include "gpu/memory.hh"
+#include "isa/slice.hh"
+
+namespace gt::gpu
+{
+
+/** One kernel launch: binary, ND-range shape, and argument values. */
+struct Dispatch
+{
+    const isa::KernelBinary *binary = nullptr;
+
+    /** Total work items (the OpenCL global work size). */
+    uint64_t globalSize = 0;
+
+    /** Work items per hardware thread (8 or 16 on GEN). */
+    uint8_t simdWidth = 16;
+
+    /** 32-bit argument values (buffer args pass device addresses). */
+    std::vector<uint32_t> args;
+
+    /** @return hardware threads needed to cover the ND-range. */
+    uint64_t
+    numThreads() const
+    {
+        return (globalSize + simdWidth - 1) / simdWidth;
+    }
+};
+
+/** Per-access callback for cache simulation (Full mode only). */
+using MemAccessFn =
+    std::function<void(uint64_t addr, uint32_t bytes, bool is_write)>;
+
+/** Interprets dispatches and produces execution profiles. */
+class Executor
+{
+  public:
+    enum class Mode { Full, Fast };
+
+    Executor(const DeviceConfig &config, DeviceMemory &memory);
+
+    /**
+     * Execute @p dispatch and return its profile.
+     *
+     * @param mode       Full or Fast (Fast may fall back to Full when
+     *                   control flow depends on loaded data)
+     * @param trace      trace buffer for instrumentation ops (may be
+     *                   null when the binary is uninstrumented)
+     * @param mem_access invoked for every memory access; forces Full
+     *                   mode and per-thread execution when set
+     */
+    ExecProfile run(const Dispatch &dispatch, Mode mode,
+                    TraceBuffer *trace = nullptr,
+                    const MemAccessFn &mem_access = {});
+
+    /**
+     * Cap on application instructions one thread may execute before
+     * the executor declares a runaway kernel and panics.
+     */
+    void setThreadInstrLimit(uint64_t limit) { threadInstrLimit = limit; }
+
+    /**
+     * Cap on the number of threads executed explicitly when control
+     * flow is thread-dependent in Fast mode; beyond it, an
+     * evenly-spaced sample of threads runs and counts are scaled.
+     */
+    void setMaxExplicitThreads(uint64_t n) { maxExplicitThreads = n; }
+
+    /** Relevance analysis for @p bin, computed once and cached. */
+    const isa::Relevance &relevance(const isa::KernelBinary *bin);
+
+    /**
+     * Record the basic-block sequence executed by one thread of
+     * @p dispatch (Fast mode), up to @p max_len entries. Used by the
+     * detailed simulator to replay control flow.
+     */
+    std::vector<uint32_t> blockTrace(const Dispatch &dispatch,
+                                     uint64_t thread_idx,
+                                     uint64_t max_len = 4'000'000);
+
+    /** Drop cached analyses (call when binaries are re-JITted). */
+    void invalidateAnalyses() { plans.clear(); }
+
+  private:
+    struct ThreadCtx;
+
+    /** Cached per-binary execution plan. */
+    struct Plan
+    {
+        /** Identity check so a recycled address never reuses a
+         * stale plan (name, block count, instruction count). */
+        std::string name;
+        size_t numBlocks = 0;
+        uint64_t numInstrs = 0;
+
+        isa::Relevance rel;
+        /** Issue cycles per block (application + instrumentation). */
+        std::vector<double> blockCycles;
+        /** Total instructions per block (for the runaway limit). */
+        std::vector<uint64_t> blockInstrs;
+        /** Indices of instructions evaluated in Fast mode, per block. */
+        std::vector<std::vector<uint16_t>> relevantIdx;
+    };
+
+    const Plan &plan(const isa::KernelBinary *bin);
+
+    /**
+     * Run one hardware thread.
+     * @return issue cycles consumed by the thread.
+     */
+    double runThread(const Dispatch &dispatch, uint64_t thread_idx,
+                     bool fast, const Plan &plan, ThreadCtx &ctx,
+                     std::vector<uint64_t> &block_counts,
+                     std::vector<uint64_t> &trace_deltas,
+                     const MemAccessFn &mem_access,
+                     std::vector<uint32_t> *block_trace = nullptr,
+                     uint64_t trace_max_len = 0);
+
+    const DeviceConfig config;
+    DeviceMemory &memory;
+    uint64_t threadInstrLimit = 200'000'000;
+    uint64_t maxExplicitThreads = 1024;
+    std::unordered_map<const isa::KernelBinary *, Plan> plans;
+};
+
+} // namespace gt::gpu
+
+#endif // GT_GPU_EXECUTOR_HH

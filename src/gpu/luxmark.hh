@@ -1,0 +1,26 @@
+/**
+ * @file
+ * LuxMark-style raw-performance score.
+ *
+ * The paper compares its two validation platforms with LuxMark, an
+ * OpenCL ray-tracing benchmark (HD4000 scored 269, HD4600 scored
+ * 351). This analogue times a fixed, render-shaped synthetic
+ * workload profile on a device's timing model and converts the
+ * throughput to a score, calibrated so the HD4000 preset lands at
+ * the paper's 269.
+ */
+
+#ifndef GT_GPU_LUXMARK_HH
+#define GT_GPU_LUXMARK_HH
+
+#include "gpu/device_config.hh"
+
+namespace gt::gpu
+{
+
+/** @return the LuxMark-style score of @p config (bigger is better). */
+double luxmarkScore(const DeviceConfig &config);
+
+} // namespace gt::gpu
+
+#endif // GT_GPU_LUXMARK_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Device global memory and the trace buffer.
+ *
+ * DeviceMemory is a flat byte-addressed space with a bump allocator;
+ * OpenCL buffers and images are carved out of it by the runtime.
+ * TraceBuffer is the CPU/GPU-shared profiling area GT-Pin allocates at
+ * initialization (Fig. 1): instrumentation instructions accumulate
+ * into its slots during device execution and the CPU post-processor
+ * reads them out afterwards.
+ */
+
+#ifndef GT_GPU_MEMORY_HH
+#define GT_GPU_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gt::gpu
+{
+
+/** Flat device global memory with a bump allocator. */
+class DeviceMemory
+{
+  public:
+    explicit DeviceMemory(uint64_t size_bytes);
+
+    uint64_t size() const { return bytes.size(); }
+
+    /**
+     * Allocate @p size bytes aligned to @p align; returns the device
+     * address. Throws FatalError when out of memory.
+     */
+    uint64_t allocate(uint64_t size, uint64_t align = 64);
+
+    /** Release all allocations (contents are preserved). */
+    void resetAllocator();
+
+    /** Bytes currently allocated. */
+    uint64_t allocated() const { return bumpPtr; }
+
+    uint8_t read8(uint64_t addr) const;
+    uint32_t read32(uint64_t addr) const;
+    void write8(uint64_t addr, uint8_t value);
+    void write32(uint64_t addr, uint32_t value);
+
+    /** Bulk host<->device transfer helpers. */
+    void copyIn(uint64_t addr, const void *src, uint64_t size);
+    void copyOut(uint64_t addr, void *dst, uint64_t size) const;
+    void fill(uint64_t addr, uint8_t value, uint64_t size);
+
+  private:
+    void checkRange(uint64_t addr, uint64_t size) const;
+
+    std::vector<uint8_t> bytes;
+    uint64_t bumpPtr = 0;
+};
+
+/**
+ * The GT-Pin profiling buffer: an array of 64-bit accumulator slots
+ * shared between the modeled GPU (instrumentation instructions add to
+ * slots) and the host (tools read slots during post-processing).
+ */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(uint32_t num_slots = 0) { resize(num_slots); }
+
+    void resize(uint32_t num_slots) { slots.assign(num_slots, 0); }
+
+    uint32_t size() const { return (uint32_t)slots.size(); }
+
+    /** Grow (never shrink) to hold at least @p num_slots slots. */
+    void reserveSlots(uint32_t num_slots);
+
+    void add(uint32_t slot, uint64_t delta);
+
+    uint64_t read(uint32_t slot) const;
+
+    void clear();
+
+    const std::vector<uint64_t> &raw() const { return slots; }
+
+  private:
+    std::vector<uint64_t> slots;
+};
+
+} // namespace gt::gpu
+
+#endif // GT_GPU_MEMORY_HH

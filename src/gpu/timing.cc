@@ -1,0 +1,77 @@
+#include "gpu/timing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gt::gpu
+{
+
+TimingModel::TimingModel(const DeviceConfig &config_,
+                         const TrialConfig &trial)
+    : config(config_),
+      freq(trial.freqMhz > 0.0 ? trial.freqMhz : config_.maxFreqMhz),
+      sigma(trial.noiseSigma),
+      noise(trial.noiseSeed)
+{
+    GT_ASSERT(trial.freqMhz >= 0.0, "negative GPU frequency");
+    GT_ASSERT(freq > 0.0, "non-positive GPU frequency");
+    GT_ASSERT(sigma >= 0.0, "negative noise sigma");
+}
+
+KernelTime
+TimingModel::kernelTime(const ExecProfile &profile)
+{
+    KernelTime t;
+
+    // How much of the machine the dispatch can occupy.
+    uint64_t concurrency = std::min<uint64_t>(
+        profile.numThreads, config.totalHwThreads());
+    double eus_busy = std::min<double>(
+        config.numEus,
+        std::max<double>(1.0, (double)concurrency /
+                                  (double)config.threadsPerEu));
+
+    // EU issue-throughput bound: total issue cycles spread over the
+    // busy EUs, paid at the trial clock.
+    double freq_hz = freq * 1e6;
+    t.computeSeconds = profile.threadCycles / (eus_busy * freq_hz);
+
+    // DRAM bandwidth bound: frequency-independent. Instrumentation
+    // instructions move trace-buffer data (a read-modify-write of an
+    // 8-byte slot), which is how profiling overhead reaches even
+    // memory-bound kernels.
+    double bytes =
+        (double)profile.bytesRead + (double)profile.bytesWritten +
+        (double)profile.instrumentationInstrs * 64.0;
+    t.memorySeconds = bytes / (config.memBandwidthGBs * 1e9);
+
+    // Exposed-latency bound: each send round-trip can be hidden by
+    // SMT threads and memory-level parallelism within a thread.
+    constexpr double mlp = 4.0;
+    double hiding = std::max<double>(1.0, (double)concurrency * mlp);
+    t.latencySeconds = (double)profile.sendCount *
+        (config.memLatencyNs * 1e-9) / hiding;
+
+    double body = std::max(
+        {t.computeSeconds, t.memorySeconds, t.latencySeconds});
+    double overhead = config.dispatchOverheadUs * 1e-6;
+
+    double jitter = 1.0;
+    if (sigma > 0.0)
+        jitter = noise.nextLogNormal(0.0, sigma);
+
+    t.seconds = (body + overhead) * jitter;
+    GT_ASSERT(std::isfinite(t.seconds) && t.seconds > 0.0,
+              "non-finite kernel time: compute=", t.computeSeconds,
+              " memory=", t.memorySeconds,
+              " latency=", t.latencySeconds, " jitter=", jitter,
+              " cycles=", profile.threadCycles,
+              " bytes=", profile.bytesRead + profile.bytesWritten,
+              " sends=", profile.sendCount,
+              " threads=", profile.numThreads);
+    return t;
+}
+
+} // namespace gt::gpu

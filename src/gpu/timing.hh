@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Analytic "native hardware" timing model.
+ *
+ * Plays the role of the physical GPU's clock in the paper: the
+ * CoFluent-analogue tracer asks it how long each kernel invocation
+ * took, and those per-kernel times feed the measured/projected SPI
+ * computations of Section V. The model is a roofline over three
+ * bounds — EU issue throughput, memory bandwidth, and exposed memory
+ * latency — so the compute/memory balance of a kernel determines how
+ * its time responds to frequency (compute scales with the clock,
+ * DRAM does not) and to EU count (Ivy Bridge -> Haswell), which is
+ * exactly what the paper's Fig. 8 validations exercise.
+ *
+ * A controlled log-normal noise term models run-to-run variation on
+ * real hardware; each trial seeds its own noise stream, giving the
+ * cross-trial validation something real to tolerate.
+ */
+
+#ifndef GT_GPU_TIMING_HH
+#define GT_GPU_TIMING_HH
+
+#include "common/rng.hh"
+#include "gpu/device_config.hh"
+#include "gpu/exec_profile.hh"
+
+namespace gt::gpu
+{
+
+/** Per-trial execution conditions. */
+struct TrialConfig
+{
+    /** GPU clock for this trial (defaults to the device maximum). */
+    double freqMhz = 0.0;
+
+    /** Seed of this trial's noise stream. */
+    uint64_t noiseSeed = 1;
+
+    /** Log-normal sigma of per-invocation noise (0 disables). */
+    double noiseSigma = 0.02;
+};
+
+/** Breakdown of one kernel invocation's modeled time. */
+struct KernelTime
+{
+    double seconds = 0.0;        //!< total wall time incl. overhead
+    double computeSeconds = 0.0; //!< EU issue-bound component
+    double memorySeconds = 0.0;  //!< bandwidth-bound component
+    double latencySeconds = 0.0; //!< exposed-latency component
+};
+
+/** Computes kernel invocation times from execution profiles. */
+class TimingModel
+{
+  public:
+    TimingModel(const DeviceConfig &config, const TrialConfig &trial);
+
+    /** Model the wall time of one dispatch given its profile. */
+    KernelTime kernelTime(const ExecProfile &profile);
+
+    /** The effective clock used by this model, in MHz. */
+    double freqMhz() const { return freq; }
+
+    const DeviceConfig &device() const { return config; }
+
+  private:
+    const DeviceConfig config;
+    double freq;
+    double sigma;
+    Rng noise;
+};
+
+} // namespace gt::gpu
+
+#endif // GT_GPU_TIMING_HH

@@ -1,0 +1,81 @@
+#include "gtpin/kernel_profile.hh"
+
+#include "common/logging.hh"
+
+namespace gt::gtpin
+{
+
+void
+KernelProfileTool::onKernelBuild(uint32_t kernel_id,
+                                 Instrumenter &instrumenter)
+{
+    const isa::KernelBinary &bin = instrumenter.binary();
+    KernelInfo info;
+    info.firstSlot =
+        instrumenter.allocSlot((uint32_t)bin.blocks.size());
+    info.blockLens.resize(bin.blocks.size());
+    info.blockReadBytes.resize(bin.blocks.size());
+    info.blockWriteBytes.resize(bin.blocks.size());
+    for (const auto &block : bin.blocks) {
+        instrumenter.countBlockEntry(
+            block.id, info.firstSlot + block.id, 1);
+        info.blockLens[block.id] = (uint32_t)block.appInstrCount();
+        uint32_t reads = 0, writes = 0;
+        for (const auto &ins : block.instrs) {
+            if (ins.op != isa::Opcode::Send)
+                continue;
+            uint32_t bytes =
+                (uint32_t)ins.send.bytesPerLane * ins.simdWidth;
+            if (ins.send.isWrite)
+                writes += bytes;
+            else
+                reads += bytes;
+        }
+        info.blockReadBytes[block.id] = reads;
+        info.blockWriteBytes[block.id] = writes;
+    }
+    kernels[kernel_id] = std::move(info);
+}
+
+void
+KernelProfileTool::onDispatchComplete(
+    const ocl::DispatchResult &result, const SlotReader &slots)
+{
+    auto it = kernels.find(result.kernelId);
+    GT_ASSERT(it != kernels.end(),
+              "dispatch of a kernel kernelprofile never saw");
+    const KernelInfo &info = it->second;
+
+    DispatchProfile rec;
+    rec.seq = result.seq;
+    rec.kernelId = result.kernelId;
+    rec.kernelName = result.kernelName;
+    rec.globalWorkSize = result.globalSize;
+    rec.argsHash = result.argsHash;
+    rec.args = result.args;
+    rec.blockLens = info.blockLens;
+    rec.blockReadBytes = info.blockReadBytes;
+    rec.blockWriteBytes = info.blockWriteBytes;
+    rec.blockCounts.resize(info.blockLens.size());
+
+    for (size_t b = 0; b < info.blockLens.size(); ++b) {
+        uint64_t count = slots(info.firstSlot + (uint32_t)b);
+        rec.blockCounts[b] = count;
+        rec.instrs += count * info.blockLens[b];
+        rec.bytesRead += count * info.blockReadBytes[b];
+        rec.bytesWritten += count * info.blockWriteBytes[b];
+    }
+
+    instrTotal += rec.instrs;
+    records.push_back(std::move(rec));
+}
+
+std::vector<DispatchProfile>
+KernelProfileTool::takeProfiles()
+{
+    std::vector<DispatchProfile> out;
+    out.swap(records);
+    return out;
+}
+
+} // namespace gt::gtpin

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The custom GT-Pin tool behind the paper's subset selection.
+ *
+ * Section III-B: "for the simulation subset selection in Section V,
+ * we wrote a custom GT-Pin tool that collected only instruction
+ * counts and opcodes, basic block counts, and memory bytes read and
+ * written per instruction." This tool is that collector: it emits
+ * one DispatchProfile per kernel invocation containing everything
+ * the interval builder and feature extractor need, and nothing more.
+ */
+
+#ifndef GT_GTPIN_KERNEL_PROFILE_HH
+#define GT_GTPIN_KERNEL_PROFILE_HH
+
+#include <map>
+
+#include "gtpin/gtpin.hh"
+
+namespace gt::gtpin
+{
+
+/** Selection-relevant data for one kernel invocation. */
+struct DispatchProfile
+{
+    uint64_t seq = 0;          //!< dispatch sequence number
+    uint32_t kernelId = 0;
+    std::string kernelName;
+    uint64_t globalWorkSize = 0;
+    uint64_t argsHash = 0;
+
+    /** Kernel argument values (buffer args carry device addresses),
+     * so selected intervals can later be re-dispatched for detailed
+     * simulation. */
+    std::vector<uint32_t> args;
+
+    /** Dynamic application instructions in this invocation. */
+    uint64_t instrs = 0;
+
+    /** Execution count per basic block of the kernel. */
+    std::vector<uint64_t> blockCounts;
+
+    /** Static application-instruction length per basic block. */
+    std::vector<uint32_t> blockLens;
+
+    /** Static bytes read/written per execution, per basic block. */
+    std::vector<uint32_t> blockReadBytes;
+    std::vector<uint32_t> blockWriteBytes;
+
+    /** Dynamic bytes moved by this invocation. */
+    uint64_t bytesRead = 0;
+    uint64_t bytesWritten = 0;
+};
+
+/** Collects DispatchProfiles for every kernel invocation. */
+class KernelProfileTool : public GtPinTool
+{
+  public:
+    std::string name() const override { return "kernelprofile"; }
+
+    void onKernelBuild(uint32_t kernel_id,
+                       Instrumenter &instrumenter) override;
+    void onDispatchComplete(const ocl::DispatchResult &result,
+                            const SlotReader &slots) override;
+
+    /** All profiles collected so far, in dispatch order. */
+    const std::vector<DispatchProfile> &profiles() const
+    {
+        return records;
+    }
+
+    /** Total dynamic application instructions across dispatches. */
+    uint64_t totalInstrs() const { return instrTotal; }
+
+    /** Release collected profiles (keeps instrumentation state). */
+    std::vector<DispatchProfile> takeProfiles();
+
+  private:
+    struct KernelInfo
+    {
+        uint32_t firstSlot = 0;
+        std::vector<uint32_t> blockLens;
+        std::vector<uint32_t> blockReadBytes;
+        std::vector<uint32_t> blockWriteBytes;
+    };
+
+    std::map<uint32_t, KernelInfo> kernels;
+    std::vector<DispatchProfile> records;
+    uint64_t instrTotal = 0;
+};
+
+} // namespace gt::gtpin
+
+#endif // GT_GTPIN_KERNEL_PROFILE_HH

@@ -1,0 +1,156 @@
+#include "gtpin/rewriter.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gt::gtpin
+{
+
+using isa::Instruction;
+using isa::Opcode;
+
+Instrumenter::Instrumenter(const isa::KernelBinary &binary,
+                           SlotAllocator &slot_allocator)
+    : bin(binary), slots(slot_allocator)
+{
+}
+
+void
+Instrumenter::checkBlock(uint32_t block_id) const
+{
+    GT_ASSERT(block_id < bin.blocks.size(),
+              bin.name, ": instrumentation of invalid block ",
+              block_id);
+}
+
+void
+Instrumenter::countBlockEntry(uint32_t block_id, uint32_t slot,
+                              uint32_t arg)
+{
+    checkBlock(block_id);
+    Instruction ins;
+    ins.op = Opcode::ProfCount;
+    ins.simdWidth = 1;
+    ins.profSlot = slot;
+    ins.profArg = arg;
+    requests.push_back({block_id, 0, ins});
+}
+
+void
+Instrumenter::recordSendBytes(uint32_t block_id, uint32_t instr_idx,
+                              uint32_t slot)
+{
+    checkBlock(block_id);
+    const auto &instrs = bin.blocks[block_id].instrs;
+    GT_ASSERT(instr_idx < instrs.size(),
+              bin.name, ": instrumentation of invalid instruction");
+    const Instruction &send = instrs[instr_idx];
+    GT_ASSERT(send.op == Opcode::Send,
+              bin.name, ": recordSendBytes target is not a send");
+
+    Instruction ins;
+    ins.op = Opcode::ProfMem;
+    ins.simdWidth = 1;
+    ins.profSlot = slot;
+    ins.profArg = (uint32_t)send.send.bytesPerLane * send.simdWidth;
+    requests.push_back({block_id, instr_idx + 1, ins});
+}
+
+void
+Instrumenter::timeKernel(uint32_t slot)
+{
+    auto timer = [&]() {
+        Instruction ins;
+        ins.op = Opcode::ProfTimer;
+        ins.simdWidth = 1;
+        ins.profSlot = slot;
+        return ins;
+    };
+
+    // Entry read establishes the baseline...
+    requests.push_back({0, 0, timer()});
+    // ...and a read before every Halt captures the elapsed cycles.
+    for (const auto &block : bin.blocks) {
+        for (uint32_t i = 0; i < block.instrs.size(); ++i) {
+            if (block.instrs[i].op == Opcode::Halt)
+                requests.push_back({block.id, i, timer()});
+        }
+    }
+}
+
+void
+Instrumenter::addRegLane0(uint32_t block_id, uint32_t instr_idx,
+                          uint16_t reg, uint32_t slot)
+{
+    checkBlock(block_id);
+    GT_ASSERT(instr_idx <= bin.blocks[block_id].instrs.size(),
+              bin.name, ": instrumentation point out of range");
+    Instruction ins;
+    ins.op = Opcode::ProfAdd;
+    ins.simdWidth = 1;
+    ins.src0 = isa::Operand::fromReg(reg);
+    ins.profSlot = slot;
+    requests.push_back({block_id, instr_idx, ins});
+}
+
+isa::KernelBinary
+Instrumenter::apply() const
+{
+    isa::KernelBinary out;
+    out.name = bin.name;
+    out.numArgs = bin.numArgs;
+    out.maxReg = bin.maxReg;
+    out.blocks.resize(bin.blocks.size());
+
+    // Group requests by (block, insertion point), stable order.
+    std::vector<Request> sorted = requests;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Request &a, const Request &b) {
+                         if (a.block != b.block)
+                             return a.block < b.block;
+                         return a.before < b.before;
+                     });
+
+    size_t r = 0;
+    for (const auto &block : bin.blocks) {
+        isa::BasicBlock &nb = out.blocks[block.id];
+        nb.id = block.id;
+        nb.instrs.reserve(block.instrs.size());
+        for (uint32_t i = 0; i <= block.instrs.size(); ++i) {
+            while (r < sorted.size() && sorted[r].block == block.id &&
+                   sorted[r].before == i) {
+                nb.instrs.push_back(sorted[r].ins);
+                ++r;
+            }
+            if (i < block.instrs.size())
+                nb.instrs.push_back(block.instrs[i]);
+        }
+        // Keep the terminator in tail position: move any
+        // instrumentation that landed after it to just before it.
+        if (nb.instrs.size() >= 2) {
+            const Instruction *term = block.terminator();
+            if (term) {
+                // Find the terminator (it is unique and was last in
+                // the original block).
+                size_t t = nb.instrs.size();
+                for (size_t k = 0; k < nb.instrs.size(); ++k) {
+                    if (isa::isTerminator(nb.instrs[k].op)) {
+                        t = k;
+                        break;
+                    }
+                }
+                if (t + 1 < nb.instrs.size()) {
+                    Instruction tins = nb.instrs[t];
+                    nb.instrs.erase(nb.instrs.begin() + (long)t);
+                    nb.instrs.push_back(tins);
+                }
+            }
+        }
+    }
+
+    isa::verify(out);
+    return out;
+}
+
+} // namespace gt::gtpin

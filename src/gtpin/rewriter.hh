@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The GT-Pin binary rewriter.
+ *
+ * Fig. 1's "GT-Pin Binary Rewriter" box: after the driver JIT
+ * compiles a kernel, the binary is diverted here and profiling
+ * instructions are injected into its basic blocks before the device
+ * ever sees it. Tools describe what they want through the
+ * Instrumenter request API (count a block, record a send's bytes,
+ * time the kernel, sample a register); apply() materializes all
+ * requests into a new binary in one pass, preserving the original
+ * instructions and control flow.
+ *
+ * As in the real tool, inserted work is minimized: counting dynamic
+ * instructions costs one counter update per basic block, not per
+ * instruction, and timing uses timer-register reads of bounded cost.
+ */
+
+#ifndef GT_GTPIN_REWRITER_HH
+#define GT_GTPIN_REWRITER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace gt::gtpin
+{
+
+/** Allocates trace-buffer slots; owned by the GtPin framework. */
+class SlotAllocator
+{
+  public:
+    /** Allocate @p count consecutive slots; returns the first. */
+    uint32_t
+    alloc(uint32_t count = 1)
+    {
+        uint32_t first = next;
+        next += count;
+        return first;
+    }
+
+    /** Total slots allocated so far. */
+    uint32_t allocated() const { return next; }
+
+  private:
+    uint32_t next = 0;
+};
+
+/**
+ * Collects instrumentation requests against one kernel binary and
+ * applies them. Tools receive an Instrumenter in their
+ * onKernelBuild() hook.
+ */
+class Instrumenter
+{
+  public:
+    Instrumenter(const isa::KernelBinary &binary,
+                 SlotAllocator &slots);
+
+    /** The binary being instrumented (pre-rewrite). */
+    const isa::KernelBinary &binary() const { return bin; }
+
+    /** Allocate fresh trace-buffer slots. */
+    uint32_t allocSlot(uint32_t count = 1) { return slots.alloc(count); }
+
+    /**
+     * At each entry to block @p block_id, add @p arg to @p slot
+     * (arg = 1 counts executions; arg = block length counts dynamic
+     * instructions with a single insertion per block).
+     */
+    void countBlockEntry(uint32_t block_id, uint32_t slot,
+                         uint32_t arg = 1);
+
+    /**
+     * After the Send at (@p block_id, @p instr_idx), add the bytes it
+     * moves per execution to @p slot.
+     */
+    void recordSendBytes(uint32_t block_id, uint32_t instr_idx,
+                         uint32_t slot);
+
+    /**
+     * Accumulate the kernel's per-thread cycles into @p slot: a
+     * timer read on entry and one before every thread exit.
+     */
+    void timeKernel(uint32_t slot);
+
+    /**
+     * Before instruction (@p block_id, @p instr_idx), add lane 0 of
+     * @p reg to @p slot (for custom value-profiling tools).
+     */
+    void addRegLane0(uint32_t block_id, uint32_t instr_idx,
+                     uint16_t reg, uint32_t slot);
+
+    /** Number of insertion requests collected. */
+    size_t requestCount() const { return requests.size(); }
+
+    /**
+     * Materialize all requests into a rewritten binary. The result
+     * passes isa::verify() and executes identically to the original
+     * apart from trace-buffer side effects.
+     */
+    isa::KernelBinary apply() const;
+
+  private:
+    struct Request
+    {
+        uint32_t block;
+        /** insertion point: instruction index the op goes before */
+        uint32_t before;
+        isa::Instruction ins;
+    };
+
+    void checkBlock(uint32_t block_id) const;
+
+    const isa::KernelBinary &bin;
+    SlotAllocator &slots;
+    std::vector<Request> requests;
+};
+
+} // namespace gt::gtpin
+
+#endif // GT_GTPIN_REWRITER_HH

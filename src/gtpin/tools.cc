@@ -1,0 +1,283 @@
+#include "gtpin/tools.hh"
+
+#include "common/logging.hh"
+#include "gpu/exec_profile.hh"
+
+namespace gt::gtpin
+{
+
+// --- BasicBlockCounterTool ------------------------------------------
+
+void
+BasicBlockCounterTool::onKernelBuild(uint32_t kernel_id,
+                                     Instrumenter &instrumenter)
+{
+    const isa::KernelBinary &bin = instrumenter.binary();
+    KernelInfo info;
+    info.firstSlot =
+        instrumenter.allocSlot((uint32_t)bin.blocks.size());
+    info.blockLens.reserve(bin.blocks.size());
+    for (const auto &block : bin.blocks) {
+        instrumenter.countBlockEntry(
+            block.id, info.firstSlot + block.id, 1);
+        info.blockLens.push_back((uint32_t)block.appInstrCount());
+        staticInstrs += block.appInstrCount();
+    }
+    kernels[kernel_id] = std::move(info);
+}
+
+void
+BasicBlockCounterTool::onDispatchComplete(
+    const ocl::DispatchResult &result, const SlotReader &slots)
+{
+    auto it = kernels.find(result.kernelId);
+    GT_ASSERT(it != kernels.end(),
+              "dispatch of a kernel bbcount never instrumented");
+    const KernelInfo &info = it->second;
+
+    lastCounts.assign(info.blockLens.size(), 0);
+    lastInstrs = 0;
+    for (size_t b = 0; b < info.blockLens.size(); ++b) {
+        uint64_t count = slots(info.firstSlot + (uint32_t)b);
+        lastCounts[b] = count;
+        dynBlocks += count;
+        lastInstrs += count * info.blockLens[b];
+    }
+    dynInstrs += lastInstrs;
+}
+
+uint64_t
+BasicBlockCounterTool::staticBlocks(uint32_t kernel_id) const
+{
+    auto it = kernels.find(kernel_id);
+    return it == kernels.end() ? 0 : it->second.blockLens.size();
+}
+
+uint64_t
+BasicBlockCounterTool::totalStaticBlocks() const
+{
+    uint64_t n = 0;
+    for (const auto &[id, info] : kernels)
+        n += info.blockLens.size();
+    return n;
+}
+
+uint64_t
+BasicBlockCounterTool::totalStaticInstrs() const
+{
+    return staticInstrs;
+}
+
+// --- OpcodeMixTool --------------------------------------------------
+
+void
+OpcodeMixTool::onKernelBuild(uint32_t kernel_id,
+                             Instrumenter &instrumenter)
+{
+    const isa::KernelBinary &bin = instrumenter.binary();
+    KernelInfo info;
+    info.firstSlot =
+        instrumenter.allocSlot((uint32_t)bin.blocks.size());
+    info.blocks.resize(bin.blocks.size());
+    for (const auto &block : bin.blocks) {
+        instrumenter.countBlockEntry(
+            block.id, info.firstSlot + block.id, 1);
+        BlockMix &mix = info.blocks[block.id];
+        for (const auto &ins : block.instrs) {
+            if (ins.cls() == isa::OpClass::Instrumentation)
+                continue;
+            ++mix.opcodes[(int)ins.op];
+            ++mix.simd[gpu::simdBin(ins.simdWidth)];
+        }
+    }
+    kernels[kernel_id] = std::move(info);
+}
+
+void
+OpcodeMixTool::onDispatchComplete(const ocl::DispatchResult &result,
+                                  const SlotReader &slots)
+{
+    auto it = kernels.find(result.kernelId);
+    GT_ASSERT(it != kernels.end(),
+              "dispatch of a kernel opcodemix never instrumented");
+    const KernelInfo &info = it->second;
+
+    for (size_t b = 0; b < info.blocks.size(); ++b) {
+        uint64_t count = slots(info.firstSlot + (uint32_t)b);
+        if (count == 0)
+            continue;
+        const BlockMix &mix = info.blocks[b];
+        for (int op = 0; op < isa::numOpcodes; ++op) {
+            if (mix.opcodes[op]) {
+                uint64_t n = count * mix.opcodes[op];
+                dynOpcodes[op] += n;
+                dynClasses[(int)isa::opClass((isa::Opcode)op)] += n;
+            }
+        }
+        for (int s = 0; s < 5; ++s)
+            dynSimd[s] += count * mix.simd[s];
+    }
+}
+
+uint64_t
+OpcodeMixTool::totalInstrs() const
+{
+    uint64_t n = 0;
+    for (uint64_t c : dynClasses)
+        n += c;
+    return n;
+}
+
+// --- MemBytesTool ---------------------------------------------------
+
+void
+MemBytesTool::onKernelBuild(uint32_t kernel_id,
+                            Instrumenter &instrumenter)
+{
+    const isa::KernelBinary &bin = instrumenter.binary();
+    KernelInfo info;
+    info.readSlot = instrumenter.allocSlot();
+    info.writeSlot = instrumenter.allocSlot();
+    for (const auto &block : bin.blocks) {
+        for (uint32_t i = 0; i < block.instrs.size(); ++i) {
+            const auto &ins = block.instrs[i];
+            if (ins.op != isa::Opcode::Send)
+                continue;
+            instrumenter.recordSendBytes(
+                block.id, i,
+                ins.send.isWrite ? info.writeSlot : info.readSlot);
+        }
+    }
+    kernels[kernel_id] = info;
+}
+
+void
+MemBytesTool::onDispatchComplete(const ocl::DispatchResult &result,
+                                 const SlotReader &slots)
+{
+    auto it = kernels.find(result.kernelId);
+    GT_ASSERT(it != kernels.end(),
+              "dispatch of a kernel membytes never instrumented");
+    KernelInfo &info = it->second;
+    uint64_t r = slots(info.readSlot);
+    uint64_t w = slots(info.writeSlot);
+    info.read += r;
+    info.written += w;
+    bytesRead += r;
+    bytesWritten += w;
+}
+
+uint64_t
+MemBytesTool::kernelBytesRead(uint32_t kernel_id) const
+{
+    auto it = kernels.find(kernel_id);
+    return it == kernels.end() ? 0 : it->second.read;
+}
+
+uint64_t
+MemBytesTool::kernelBytesWritten(uint32_t kernel_id) const
+{
+    auto it = kernels.find(kernel_id);
+    return it == kernels.end() ? 0 : it->second.written;
+}
+
+// --- SimdUtilizationTool ----------------------------------------------
+
+void
+SimdUtilizationTool::onKernelBuild(uint32_t kernel_id,
+                                   Instrumenter &instrumenter)
+{
+    const isa::KernelBinary &bin = instrumenter.binary();
+    KernelInfo info;
+    info.firstSlot =
+        instrumenter.allocSlot((uint32_t)bin.blocks.size());
+    info.blockLanes.resize(bin.blocks.size());
+    info.blockLens.resize(bin.blocks.size());
+    for (const auto &block : bin.blocks) {
+        instrumenter.countBlockEntry(
+            block.id, info.firstSlot + block.id, 1);
+        uint64_t lanes = 0;
+        uint32_t len = 0;
+        for (const auto &ins : block.instrs) {
+            if (ins.cls() == isa::OpClass::Instrumentation)
+                continue;
+            lanes += ins.simdWidth;
+            ++len;
+        }
+        info.blockLanes[block.id] = lanes;
+        info.blockLens[block.id] = len;
+    }
+    kernels[kernel_id] = std::move(info);
+}
+
+void
+SimdUtilizationTool::onDispatchComplete(
+    const ocl::DispatchResult &result, const SlotReader &slots)
+{
+    auto it = kernels.find(result.kernelId);
+    GT_ASSERT(it != kernels.end(),
+              "dispatch of a kernel simdutil never instrumented");
+    KernelInfo &info = it->second;
+    for (size_t b = 0; b < info.blockLanes.size(); ++b) {
+        uint64_t count = slots(info.firstSlot + (uint32_t)b);
+        info.activeLanes += count * info.blockLanes[b];
+        info.instrs += count * info.blockLens[b];
+    }
+    totalActiveLanes = 0;
+    totalInstrs = 0;
+    for (const auto &[id, kd] : kernels) {
+        totalActiveLanes += kd.activeLanes;
+        totalInstrs += kd.instrs;
+    }
+}
+
+double
+SimdUtilizationTool::kernelUtilization(uint32_t kernel_id) const
+{
+    auto it = kernels.find(kernel_id);
+    if (it == kernels.end() || it->second.instrs == 0)
+        return 0.0;
+    return (double)it->second.activeLanes /
+        ((double)it->second.instrs * isa::maxSimdWidth);
+}
+
+double
+SimdUtilizationTool::overallUtilization() const
+{
+    if (totalInstrs == 0)
+        return 0.0;
+    return (double)totalActiveLanes /
+        ((double)totalInstrs * isa::maxSimdWidth);
+}
+
+// --- KernelTimerTool ------------------------------------------------
+
+void
+KernelTimerTool::onKernelBuild(uint32_t kernel_id,
+                               Instrumenter &instrumenter)
+{
+    uint32_t slot = instrumenter.allocSlot();
+    instrumenter.timeKernel(slot);
+    kernels[kernel_id] = {slot, 0};
+}
+
+void
+KernelTimerTool::onDispatchComplete(const ocl::DispatchResult &result,
+                                    const SlotReader &slots)
+{
+    auto it = kernels.find(result.kernelId);
+    GT_ASSERT(it != kernels.end(),
+              "dispatch of a kernel ktimer never instrumented");
+    uint64_t c = slots(it->second.first);
+    it->second.second += c;
+    cycles += c;
+}
+
+uint64_t
+KernelTimerTool::kernelCycles(uint32_t kernel_id) const
+{
+    auto it = kernels.find(kernel_id);
+    return it == kernels.end() ? 0 : it->second.second;
+}
+
+} // namespace gt::gtpin

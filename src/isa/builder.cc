@@ -1,0 +1,514 @@
+#include "isa/builder.hh"
+
+#include <bit>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace gt::isa
+{
+
+Operand
+fimm(float v)
+{
+    return Operand::fromImm(std::bit_cast<uint32_t>(v));
+}
+
+KernelBuilder::KernelBuilder(std::string name_, uint32_t num_args)
+    : name(std::move(name_)), numArgs(num_args),
+      nextReg((uint16_t)(2 + num_args))
+{
+    GT_ASSERT(!name.empty(), "kernel needs a name");
+    GT_ASSERT(2 + numArgs < numRegisters, "too many kernel arguments");
+    maxRegSeen = (uint16_t)(nextReg == 2 ? 1 : nextReg - 1);
+}
+
+Reg
+KernelBuilder::reg()
+{
+    GT_ASSERT(nextReg < numRegisters, name, ": out of registers");
+    Reg r{nextReg++};
+    touchReg(r.idx);
+    return r;
+}
+
+Flag
+KernelBuilder::flag()
+{
+    Flag f{(uint8_t)(nextFlag % numFlags)};
+    ++nextFlag;
+    return f;
+}
+
+Reg
+KernelBuilder::arg(uint32_t idx) const
+{
+    GT_ASSERT(idx < numArgs, name, ": argument index ", idx,
+              " out of range (", numArgs, " args)");
+    return Reg{(uint16_t)(2 + idx)};
+}
+
+void
+KernelBuilder::touchReg(uint16_t r)
+{
+    if (r != noReg && r > maxRegSeen)
+        maxRegSeen = r;
+}
+
+void
+KernelBuilder::touch(const Operand &opnd)
+{
+    if (opnd.isReg())
+        touchReg(opnd.reg);
+}
+
+void
+KernelBuilder::emit(Instruction ins)
+{
+    GT_ASSERT(!finished, name, ": builder already finished");
+    touchReg(ins.writesReg() ? ins.dst : noReg);
+    touch(ins.src0);
+    touch(ins.src1);
+    touch(ins.src2);
+    if (ins.op == Opcode::Send)
+        touchReg(ins.send.addrReg);
+    code.push_back(ins);
+}
+
+void
+KernelBuilder::emitBinary(Opcode op, Reg dst, Operand a, Operand b,
+                          int width)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.simdWidth = (uint8_t)width;
+    ins.dst = dst.idx;
+    ins.src0 = a;
+    ins.src1 = b;
+    emit(ins);
+}
+
+void
+KernelBuilder::emitUnary(Opcode op, Reg dst, Operand a, int width)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.simdWidth = (uint8_t)width;
+    ins.dst = dst.idx;
+    ins.src0 = a;
+    emit(ins);
+}
+
+void
+KernelBuilder::emitTernary(Opcode op, Reg dst, Operand a, Operand b,
+                           Operand c, int width)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.simdWidth = (uint8_t)width;
+    ins.dst = dst.idx;
+    ins.src0 = a;
+    ins.src1 = b;
+    ins.src2 = c;
+    emit(ins);
+}
+
+void
+KernelBuilder::mov(Reg dst, Operand src, int width)
+{
+    emitUnary(Opcode::Mov, dst, src, width);
+}
+
+void
+KernelBuilder::sel(Reg dst, Flag f, Operand a, Operand b, int width)
+{
+    Instruction ins;
+    ins.op = Opcode::Sel;
+    ins.simdWidth = (uint8_t)width;
+    ins.dst = dst.idx;
+    ins.src0 = a;
+    ins.src1 = b;
+    ins.flag = f.idx;
+    emit(ins);
+}
+
+void
+KernelBuilder::and_(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::And, dst, a, b, width);
+}
+
+void
+KernelBuilder::or_(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::Or, dst, a, b, width);
+}
+
+void
+KernelBuilder::xor_(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::Xor, dst, a, b, width);
+}
+
+void
+KernelBuilder::not_(Reg dst, Operand a, int width)
+{
+    emitUnary(Opcode::Not, dst, a, width);
+}
+
+void
+KernelBuilder::shl(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::Shl, dst, a, b, width);
+}
+
+void
+KernelBuilder::shr(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::Shr, dst, a, b, width);
+}
+
+void
+KernelBuilder::asr(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::Asr, dst, a, b, width);
+}
+
+void
+KernelBuilder::cmp(CmpOp op, Flag f, Operand a, Operand b, int width)
+{
+    Instruction ins;
+    ins.op = Opcode::Cmp;
+    ins.simdWidth = (uint8_t)width;
+    ins.src0 = a;
+    ins.src1 = b;
+    ins.flag = f.idx;
+    ins.cmpOp = op;
+    emit(ins);
+}
+
+void
+KernelBuilder::add(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::Add, dst, a, b, width);
+}
+
+void
+KernelBuilder::sub(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::Sub, dst, a, b, width);
+}
+
+void
+KernelBuilder::mul(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::Mul, dst, a, b, width);
+}
+
+void
+KernelBuilder::mad(Reg dst, Operand a, Operand b, Operand c, int width)
+{
+    emitTernary(Opcode::Mad, dst, a, b, c, width);
+}
+
+void
+KernelBuilder::min_(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::Min, dst, a, b, width);
+}
+
+void
+KernelBuilder::max_(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::Max, dst, a, b, width);
+}
+
+void
+KernelBuilder::avg(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::Avg, dst, a, b, width);
+}
+
+void
+KernelBuilder::fadd(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::FAdd, dst, a, b, width);
+}
+
+void
+KernelBuilder::fmul(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::FMul, dst, a, b, width);
+}
+
+void
+KernelBuilder::fmad(Reg dst, Operand a, Operand b, Operand c,
+                    int width)
+{
+    emitTernary(Opcode::FMad, dst, a, b, c, width);
+}
+
+void
+KernelBuilder::fdiv(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::FDiv, dst, a, b, width);
+}
+
+void
+KernelBuilder::frc(Reg dst, Operand a, int width)
+{
+    emitUnary(Opcode::Frc, dst, a, width);
+}
+
+void
+KernelBuilder::sqrt(Reg dst, Operand a, int width)
+{
+    emitUnary(Opcode::Sqrt, dst, a, width);
+}
+
+void
+KernelBuilder::rsqrt(Reg dst, Operand a, int width)
+{
+    emitUnary(Opcode::Rsqrt, dst, a, width);
+}
+
+void
+KernelBuilder::sin(Reg dst, Operand a, int width)
+{
+    emitUnary(Opcode::Sin, dst, a, width);
+}
+
+void
+KernelBuilder::cos(Reg dst, Operand a, int width)
+{
+    emitUnary(Opcode::Cos, dst, a, width);
+}
+
+void
+KernelBuilder::exp2(Reg dst, Operand a, int width)
+{
+    emitUnary(Opcode::Exp, dst, a, width);
+}
+
+void
+KernelBuilder::log2(Reg dst, Operand a, int width)
+{
+    emitUnary(Opcode::Log, dst, a, width);
+}
+
+void
+KernelBuilder::dp4(Reg dst, Operand a, Operand b, int width)
+{
+    emitBinary(Opcode::Dp4, dst, a, b, width);
+}
+
+void
+KernelBuilder::lrp(Reg dst, Operand a, Operand b, Operand c, int width)
+{
+    emitTernary(Opcode::Lrp, dst, a, b, c, width);
+}
+
+void
+KernelBuilder::pln(Reg dst, Operand a, Operand b, Operand c, int width)
+{
+    emitTernary(Opcode::Pln, dst, a, b, c, width);
+}
+
+void
+KernelBuilder::load(Reg dst, Reg addr, int bytes_per_lane, int width,
+                    int32_t offset, AddrSpace space)
+{
+    Instruction ins;
+    ins.op = Opcode::Send;
+    ins.simdWidth = (uint8_t)width;
+    ins.dst = dst.idx;
+    ins.send.isWrite = false;
+    ins.send.bytesPerLane = (uint8_t)bytes_per_lane;
+    ins.send.space = space;
+    ins.send.addrReg = addr.idx;
+    ins.send.offset = offset;
+    emit(ins);
+}
+
+void
+KernelBuilder::store(Reg data, Reg addr, int bytes_per_lane, int width,
+                     int32_t offset, AddrSpace space)
+{
+    Instruction ins;
+    ins.op = Opcode::Send;
+    ins.simdWidth = (uint8_t)width;
+    ins.src0 = Operand::fromReg(data.idx);
+    ins.send.isWrite = true;
+    ins.send.bytesPerLane = (uint8_t)bytes_per_lane;
+    ins.send.space = space;
+    ins.send.addrReg = addr.idx;
+    ins.send.offset = offset;
+    emit(ins);
+}
+
+void
+KernelBuilder::label(const std::string &label_name)
+{
+    GT_ASSERT(!finished, name, ": builder already finished");
+    GT_ASSERT(!labels.count(label_name),
+              name, ": duplicate label '", label_name, "'");
+    labels[label_name] = code.size();
+}
+
+void
+KernelBuilder::emitBranch(Opcode op, const std::string &target, Flag f,
+                          FlagMode mode)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.simdWidth = maxSimdWidth;
+    ins.flag = f.idx;
+    ins.flagMode = mode;
+    fixups.emplace_back(code.size(), target);
+    emit(ins);
+}
+
+void
+KernelBuilder::jmp(const std::string &target)
+{
+    emitBranch(Opcode::Jmpi, target, Flag{0}, FlagMode::Lane0);
+}
+
+void
+KernelBuilder::brc(Flag f, const std::string &target, FlagMode mode)
+{
+    emitBranch(Opcode::Brc, target, f, mode);
+}
+
+void
+KernelBuilder::brnc(Flag f, const std::string &target, FlagMode mode)
+{
+    emitBranch(Opcode::Brnc, target, f, mode);
+}
+
+void
+KernelBuilder::call(const std::string &target)
+{
+    emitBranch(Opcode::Call, target, Flag{0}, FlagMode::Lane0);
+}
+
+void
+KernelBuilder::ret()
+{
+    Instruction ins;
+    ins.op = Opcode::Ret;
+    ins.simdWidth = 1;
+    emit(ins);
+}
+
+void
+KernelBuilder::halt()
+{
+    Instruction ins;
+    ins.op = Opcode::Halt;
+    ins.simdWidth = 1;
+    emit(ins);
+}
+
+void
+KernelBuilder::beginLoop(Reg counter, Operand trips)
+{
+    LoopFrame frame;
+    frame.counter = counter;
+    frame.trips = trips;
+    frame.headLabel = "__loop" + std::to_string(labelCounter++);
+    frame.flag = flag();
+    mov(counter, imm(0), 1);
+    label(frame.headLabel);
+    loopStack.push_back(frame);
+}
+
+void
+KernelBuilder::endLoop()
+{
+    GT_ASSERT(!loopStack.empty(), name, ": endLoop without beginLoop");
+    LoopFrame frame = loopStack.back();
+    loopStack.pop_back();
+    add(frame.counter, frame.counter, imm(1), 1);
+    // As on GEN, the compare and branch carry the full execution
+    // width; the branch decision keys off flag lane 0.
+    cmp(CmpOp::Lt, frame.flag, frame.counter, frame.trips,
+        maxSimdWidth);
+    brc(frame.flag, frame.headLabel);
+}
+
+KernelBinary
+KernelBuilder::finish()
+{
+    GT_ASSERT(!finished, name, ": builder already finished");
+    GT_ASSERT(loopStack.empty(), name, ": unclosed loop");
+    GT_ASSERT(!code.empty(), name, ": no instructions emitted");
+    finished = true;
+
+    // Identify basic-block leaders: entry, every label target, and
+    // every instruction following a terminator or call.
+    std::set<size_t> leaders;
+    leaders.insert(0);
+    for (const auto &[label_name, pos] : labels) {
+        GT_ASSERT(pos < code.size(),
+                  name, ": label '", label_name,
+                  "' does not precede any instruction");
+        leaders.insert(pos);
+    }
+    for (size_t i = 0; i < code.size(); ++i) {
+        if ((isTerminator(code[i].op) || code[i].op == Opcode::Call) &&
+            i + 1 < code.size()) {
+            leaders.insert(i + 1);
+        }
+    }
+
+    // Map instruction index -> block id.
+    std::vector<uint32_t> blockOf(code.size());
+    uint32_t blockId = 0;
+    std::vector<size_t> leaderList(leaders.begin(), leaders.end());
+    for (size_t li = 0; li < leaderList.size(); ++li) {
+        size_t begin = leaderList[li];
+        size_t end =
+            li + 1 < leaderList.size() ? leaderList[li + 1]
+                                       : code.size();
+        for (size_t i = begin; i < end; ++i)
+            blockOf[i] = blockId;
+        ++blockId;
+    }
+
+    // Resolve branch fixups to block ids.
+    for (const auto &[pos, label_name] : fixups) {
+        auto it = labels.find(label_name);
+        GT_ASSERT(it != labels.end(),
+                  name, ": undefined label '", label_name, "'");
+        code[pos].target = (int32_t)blockOf[it->second];
+    }
+
+    // Assemble the blocks.
+    KernelBinary bin;
+    bin.name = name;
+    bin.numArgs = numArgs;
+    bin.maxReg = maxRegSeen;
+    for (size_t li = 0; li < leaderList.size(); ++li) {
+        size_t begin = leaderList[li];
+        size_t end =
+            li + 1 < leaderList.size() ? leaderList[li + 1]
+                                       : code.size();
+        BasicBlock block;
+        block.id = (uint32_t)li;
+        block.instrs.assign(code.begin() + (long)begin,
+                            code.begin() + (long)end);
+        bin.blocks.push_back(std::move(block));
+    }
+
+    // The final block must not fall off the end of the kernel.
+    const BasicBlock &last = bin.blocks.back();
+    if (!last.terminator()) {
+        fatal(name, ": kernel does not end with halt/ret/jmp");
+    }
+
+    verify(bin);
+    return bin;
+}
+
+} // namespace gt::isa

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Structured assembler for device kernels.
+ *
+ * KernelBuilder is the JIT compiler's code generator: kernel templates
+ * emit instructions through it, using labels for control flow, and
+ * finish() lowers the stream into a verified KernelBinary CFG. The
+ * register convention is:
+ *
+ *   r0          per-lane global work-item ids of this hardware thread
+ *   r1 lane 0   linear hardware-thread index within the dispatch
+ *   r1 lane 1   global work size (low 32 bits)
+ *   r1 lane 2   dispatch SIMD width
+ *   r2..r2+N-1  kernel arguments 0..N-1, broadcast to all lanes
+ *   higher      allocated via reg()
+ */
+
+#ifndef GT_ISA_BUILDER_HH
+#define GT_ISA_BUILDER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace gt::isa
+{
+
+/** A typed handle for an allocated general register. */
+struct Reg
+{
+    uint16_t idx = noReg;
+
+    operator Operand() const { return Operand::fromReg(idx); }
+};
+
+/** Shorthand for an immediate operand. */
+inline Operand
+imm(uint32_t v)
+{
+    return Operand::fromImm(v);
+}
+
+/** Shorthand for a float immediate operand (bit pattern). */
+Operand fimm(float v);
+
+/** A typed handle for a flag register. */
+struct Flag
+{
+    uint8_t idx = 0;
+};
+
+/**
+ * Incrementally builds one kernel binary. All emit methods append to
+ * an instruction stream; labels name positions; finish() splits the
+ * stream into basic blocks, resolves label targets, verifies the
+ * result, and returns it. A builder is single-use.
+ */
+class KernelBuilder
+{
+  public:
+    /**
+     * @param name kernel name reported in profiles
+     * @param num_args number of kernel arguments (preloaded in
+     *        registers r2..r2+num_args-1)
+     */
+    explicit KernelBuilder(std::string name, uint32_t num_args = 0);
+
+    /** Allocate a fresh general register. */
+    Reg reg();
+
+    /** Allocate a fresh flag register handle (wraps around 4). */
+    Flag flag();
+
+    /** @return the register preloaded with per-lane global ids. */
+    Reg globalIds() const { return Reg{0}; }
+
+    /** @return the register holding dispatch metadata (see file doc). */
+    Reg dispatchInfo() const { return Reg{1}; }
+
+    /** @return the register preloaded with kernel argument @p idx. */
+    Reg arg(uint32_t idx) const;
+
+    // --- Moves -----------------------------------------------------
+    void mov(Reg dst, Operand src, int width = maxSimdWidth);
+    void sel(Reg dst, Flag f, Operand a, Operand b,
+             int width = maxSimdWidth);
+
+    // --- Logic -----------------------------------------------------
+    void and_(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void or_(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void xor_(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void not_(Reg dst, Operand a, int width = maxSimdWidth);
+    void shl(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void shr(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void asr(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void cmp(CmpOp op, Flag f, Operand a, Operand b, int width = 1);
+
+    // --- Computation -----------------------------------------------
+    void add(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void sub(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void mul(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void mad(Reg dst, Operand a, Operand b, Operand c,
+             int width = maxSimdWidth);
+    void min_(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void max_(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void avg(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void fadd(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void fmul(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void fmad(Reg dst, Operand a, Operand b, Operand c,
+              int width = maxSimdWidth);
+    void fdiv(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void frc(Reg dst, Operand a, int width = maxSimdWidth);
+    void sqrt(Reg dst, Operand a, int width = maxSimdWidth);
+    void rsqrt(Reg dst, Operand a, int width = maxSimdWidth);
+    void sin(Reg dst, Operand a, int width = maxSimdWidth);
+    void cos(Reg dst, Operand a, int width = maxSimdWidth);
+    void exp2(Reg dst, Operand a, int width = maxSimdWidth);
+    void log2(Reg dst, Operand a, int width = maxSimdWidth);
+    void dp4(Reg dst, Operand a, Operand b, int width = maxSimdWidth);
+    void lrp(Reg dst, Operand a, Operand b, Operand c,
+             int width = maxSimdWidth);
+    void pln(Reg dst, Operand a, Operand b, Operand c,
+             int width = maxSimdWidth);
+
+    // --- Memory ----------------------------------------------------
+    /** Gather @p bytes_per_lane bytes per lane from global memory. */
+    void load(Reg dst, Reg addr, int bytes_per_lane = 4,
+              int width = maxSimdWidth, int32_t offset = 0,
+              AddrSpace space = AddrSpace::Global);
+
+    /** Scatter @p bytes_per_lane bytes per lane to global memory. */
+    void store(Reg data, Reg addr, int bytes_per_lane = 4,
+               int width = maxSimdWidth, int32_t offset = 0,
+               AddrSpace space = AddrSpace::Global);
+
+    // --- Control flow ----------------------------------------------
+    /** Bind @p name to the next emitted instruction. */
+    void label(const std::string &name);
+
+    void jmp(const std::string &target);
+    void brc(Flag f, const std::string &target,
+             FlagMode mode = FlagMode::Lane0);
+    void brnc(Flag f, const std::string &target,
+              FlagMode mode = FlagMode::Lane0);
+    void call(const std::string &target);
+    void ret();
+    void halt();
+
+    /**
+     * Open a counted loop: initializes @p counter to zero and loops
+     * until it reaches @p trips. Must be closed with endLoop(). Loops
+     * nest.
+     */
+    void beginLoop(Reg counter, Operand trips);
+
+    /** Close the innermost loop opened with beginLoop(). */
+    void endLoop();
+
+    /** Lower, verify, and return the binary. Single use. */
+    KernelBinary finish();
+
+    /** Number of instructions emitted so far. */
+    size_t instrCount() const { return code.size(); }
+
+  private:
+    struct LoopFrame
+    {
+        Reg counter;
+        Operand trips;
+        std::string headLabel;
+        Flag flag;
+    };
+
+    void emit(Instruction ins);
+    void emitBinary(Opcode op, Reg dst, Operand a, Operand b,
+                    int width);
+    void emitUnary(Opcode op, Reg dst, Operand a, int width);
+    void emitTernary(Opcode op, Reg dst, Operand a, Operand b,
+                     Operand c, int width);
+    void emitBranch(Opcode op, const std::string &target, Flag f,
+                    FlagMode mode);
+    void touch(const Operand &opnd);
+    void touchReg(uint16_t r);
+
+    std::string name;
+    uint32_t numArgs;
+    uint16_t nextReg;
+    uint8_t nextFlag = 0;
+    uint16_t maxRegSeen = 0;
+    bool finished = false;
+    uint64_t labelCounter = 0;
+
+    std::vector<Instruction> code;
+    /** label name -> instruction index it precedes */
+    std::map<std::string, size_t> labels;
+    /** (instruction index, label) pairs awaiting resolution */
+    std::vector<std::pair<size_t, std::string>> fixups;
+    std::vector<LoopFrame> loopStack;
+};
+
+} // namespace gt::isa
+
+#endif // GT_ISA_BUILDER_HH

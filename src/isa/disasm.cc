@@ -1,0 +1,100 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace gt::isa
+{
+
+namespace
+{
+
+void
+appendOperand(std::ostringstream &os, const Operand &opnd)
+{
+    switch (opnd.kind) {
+      case Operand::Kind::None:
+        break;
+      case Operand::Kind::Reg:
+        os << " r" << opnd.reg;
+        break;
+      case Operand::Kind::Imm:
+        os << " #" << opnd.imm;
+        break;
+    }
+}
+
+} // anonymous namespace
+
+std::string
+disassemble(const Instruction &ins)
+{
+    std::ostringstream os;
+    os << opcodeName(ins.op);
+    if (ins.op == Opcode::Cmp)
+        os << '.' << cmpOpName(ins.cmpOp);
+    os << "(" << (int)ins.simdWidth << ")";
+
+    switch (ins.cls()) {
+      case OpClass::Control:
+        if (ins.op == Opcode::Brc || ins.op == Opcode::Brnc)
+            os << " f" << (int)ins.flag;
+        if (ins.op != Opcode::Ret && ins.op != Opcode::Halt)
+            os << " -> bb" << ins.target;
+        break;
+      case OpClass::Send:
+        if (ins.send.isWrite) {
+            os << (ins.send.space == AddrSpace::Local
+                       ? " local" : " global")
+               << "[r" << ins.send.addrReg;
+            if (ins.send.offset)
+                os << (ins.send.offset > 0 ? "+" : "")
+                   << ins.send.offset;
+            os << "] <-";
+            appendOperand(os, ins.src0);
+        } else {
+            os << " r" << ins.dst << " <- "
+               << (ins.send.space == AddrSpace::Local
+                       ? "local" : "global")
+               << "[r" << ins.send.addrReg;
+            if (ins.send.offset)
+                os << (ins.send.offset > 0 ? "+" : "")
+                   << ins.send.offset;
+            os << "]";
+        }
+        os << " x" << (int)ins.send.bytesPerLane << "B";
+        break;
+      case OpClass::Instrumentation:
+        os << " slot" << ins.profSlot;
+        if (ins.op == Opcode::ProfCount)
+            os << " +" << ins.profArg;
+        appendOperand(os, ins.src0);
+        break;
+      default:
+        if (ins.writesReg() || ins.op == Opcode::Cmp) {
+            if (ins.dst != noReg)
+                os << " r" << ins.dst << " <-";
+        }
+        if (ins.op == Opcode::Cmp)
+            os << " f" << (int)ins.flag << " <-";
+        appendOperand(os, ins.src0);
+        appendOperand(os, ins.src1);
+        appendOperand(os, ins.src2);
+        break;
+    }
+    return os.str();
+}
+
+void
+disassemble(const KernelBinary &bin, std::ostream &os)
+{
+    os << "kernel " << bin.name << " (" << bin.numArgs << " args, "
+       << bin.blocks.size() << " blocks, "
+       << bin.staticInstrCount() << " instrs)\n";
+    for (const auto &block : bin.blocks) {
+        os << "bb" << block.id << ":\n";
+        for (const auto &ins : block.instrs)
+            os << "    " << disassemble(ins) << "\n";
+    }
+}
+
+} // namespace gt::isa

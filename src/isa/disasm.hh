@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Textual disassembly of kernel binaries, for debugging and for the
+ * example tools that dump instrumented code.
+ */
+
+#ifndef GT_ISA_DISASM_HH
+#define GT_ISA_DISASM_HH
+
+#include <ostream>
+#include <string>
+
+#include "isa/kernel.hh"
+
+namespace gt::isa
+{
+
+/** @return one-line disassembly of @p ins. */
+std::string disassemble(const Instruction &ins);
+
+/** Print the whole binary, one block per paragraph, to @p os. */
+void disassemble(const KernelBinary &bin, std::ostream &os);
+
+} // namespace gt::isa
+
+#endif // GT_ISA_DISASM_HH

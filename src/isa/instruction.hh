@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Instruction encoding of the GEN-like device ISA.
+ *
+ * Instructions operate on a general register file (GRF) of SIMD
+ * vector registers. Each register holds maxSimdWidth 32-bit lanes; an
+ * instruction's simdWidth (1, 2, 4, 8, or 16) selects how many lanes
+ * it processes, reproducing the SIMD-width distribution the paper
+ * reports in Fig. 4b. All memory traffic uses Send messages carrying
+ * per-lane addresses, mirroring GEN's send-based memory model.
+ */
+
+#ifndef GT_ISA_INSTRUCTION_HH
+#define GT_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+
+namespace gt::isa
+{
+
+/** Number of 32-bit lanes in a full-width vector register. */
+constexpr int maxSimdWidth = 16;
+
+/** Number of general registers per thread. */
+constexpr int numRegisters = 128;
+
+/** Number of flag registers per thread. */
+constexpr int numFlags = 4;
+
+/** Register index designating "no register". */
+constexpr uint16_t noReg = 0xffff;
+
+/** A source operand: a register, an immediate, or absent. */
+struct Operand
+{
+    enum class Kind : uint8_t { None, Reg, Imm };
+
+    Kind kind = Kind::None;
+    uint16_t reg = noReg;
+    uint32_t imm = 0;
+
+    static Operand none() { return {}; }
+
+    static Operand
+    fromReg(uint16_t r)
+    {
+        Operand o;
+        o.kind = Kind::Reg;
+        o.reg = r;
+        return o;
+    }
+
+    static Operand
+    fromImm(uint32_t v)
+    {
+        Operand o;
+        o.kind = Kind::Imm;
+        o.imm = v;
+        return o;
+    }
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isNone() const { return kind == Kind::None; }
+};
+
+/** Address spaces visible to Send messages. */
+enum class AddrSpace : uint8_t
+{
+    Global,  //!< device global memory (buffers, images)
+    Local,   //!< work-group shared memory
+};
+
+/** Message descriptor for Send instructions. */
+struct SendInfo
+{
+    bool isWrite = false;         //!< write (scatter) vs. read (gather)
+    uint8_t bytesPerLane = 4;     //!< payload bytes moved per lane
+    AddrSpace space = AddrSpace::Global;
+    uint16_t addrReg = noReg;     //!< register holding per-lane addresses
+    int32_t offset = 0;           //!< immediate byte offset added per lane
+};
+
+/**
+ * One machine instruction.
+ *
+ * Field usage varies by opcode class: control opcodes use target (a
+ * basic-block id resolved by the builder) and flag; Cmp writes flag
+ * using cmpOp; Send uses send and dst/src0 for data; instrumentation
+ * pseudo-ops use profSlot as a trace-buffer index.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Mov;
+    uint8_t simdWidth = 1;        //!< 1, 2, 4, 8, or 16 lanes
+
+    uint16_t dst = noReg;         //!< destination register
+    Operand src0;
+    Operand src1;
+    Operand src2;
+
+    uint8_t flag = 0;             //!< flag register for Cmp/branch/Sel
+    CmpOp cmpOp = CmpOp::Eq;      //!< condition for Cmp
+    FlagMode flagMode = FlagMode::Lane0;
+
+    int32_t target = -1;          //!< basic-block id for control ops
+
+    SendInfo send;                //!< message descriptor for Send
+
+    uint32_t profSlot = 0;        //!< trace-buffer slot for prof ops
+    uint32_t profArg = 0;         //!< immediate argument for prof ops
+
+    OpClass cls() const { return opClass(op); }
+
+    /** @return true if this instruction writes a general register. */
+    bool
+    writesReg() const
+    {
+        if (dst == noReg)
+            return false;
+        switch (cls()) {
+          case OpClass::Control:
+          case OpClass::Instrumentation:
+            return false;
+          case OpClass::Send:
+            return !send.isWrite;
+          default:
+            return true;
+        }
+    }
+
+    /** @return true if this instruction writes a flag register. */
+    bool writesFlag() const { return op == Opcode::Cmp; }
+};
+
+} // namespace gt::isa
+
+#endif // GT_ISA_INSTRUCTION_HH

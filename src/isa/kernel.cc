@@ -1,0 +1,158 @@
+#include "isa/kernel.hh"
+
+#include "common/logging.hh"
+
+namespace gt::isa
+{
+
+uint64_t
+KernelBinary::staticInstrCount() const
+{
+    uint64_t n = 0;
+    for (const auto &block : blocks)
+        n += block.instrs.size();
+    return n;
+}
+
+uint64_t
+KernelBinary::staticAppInstrCount() const
+{
+    uint64_t n = 0;
+    for (const auto &block : blocks)
+        n += block.appInstrCount();
+    return n;
+}
+
+std::vector<uint32_t>
+KernelBinary::successors(const BasicBlock &block) const
+{
+    std::vector<uint32_t> succs;
+    const Instruction *term = block.terminator();
+    if (!term) {
+        if (block.id + 1 < blocks.size())
+            succs.push_back(block.id + 1);
+        return succs;
+    }
+    switch (term->op) {
+      case Opcode::Jmpi:
+        succs.push_back((uint32_t)term->target);
+        break;
+      case Opcode::Brc:
+      case Opcode::Brnc:
+        succs.push_back((uint32_t)term->target);
+        if (block.id + 1 < blocks.size())
+            succs.push_back(block.id + 1);
+        break;
+      case Opcode::Ret:
+      case Opcode::Halt:
+        break;
+      default:
+        panic("unexpected terminator ", opcodeName(term->op));
+    }
+    return succs;
+}
+
+namespace
+{
+
+bool
+validSimdWidth(uint8_t w)
+{
+    return w == 1 || w == 2 || w == 4 || w == 8 || w == 16;
+}
+
+void
+verifyOperand(const KernelBinary &bin, const Operand &opnd,
+              const std::string &where)
+{
+    if (opnd.isReg()) {
+        GT_ASSERT(opnd.reg < numRegisters,
+                  where, ": register r", opnd.reg, " out of range");
+        GT_ASSERT(opnd.reg <= bin.maxReg,
+                  where, ": register r", opnd.reg, " above maxReg");
+    }
+}
+
+} // anonymous namespace
+
+void
+verify(const KernelBinary &bin)
+{
+    GT_ASSERT(!bin.name.empty(), "kernel binary has no name");
+    GT_ASSERT(!bin.blocks.empty(), bin.name, ": binary has no blocks");
+    GT_ASSERT(!bin.blocks[0].instrs.empty(),
+              bin.name, ": entry block is empty");
+    GT_ASSERT(bin.maxReg < numRegisters,
+              bin.name, ": maxReg out of range");
+
+    for (size_t b = 0; b < bin.blocks.size(); ++b) {
+        const BasicBlock &block = bin.blocks[b];
+        std::string where = bin.name + " block " + std::to_string(b);
+        GT_ASSERT(block.id == b, where, ": non-dense block id ",
+                  block.id);
+        GT_ASSERT(!block.instrs.empty(), where, ": empty block");
+
+        for (size_t i = 0; i < block.instrs.size(); ++i) {
+            const Instruction &ins = block.instrs[i];
+            std::string at = where + " instr " + std::to_string(i);
+
+            GT_ASSERT(validSimdWidth(ins.simdWidth),
+                      at, ": bad simd width ", (int)ins.simdWidth);
+            GT_ASSERT(ins.op < Opcode::NumOpcodes, at, ": bad opcode");
+
+            if (isTerminator(ins.op)) {
+                GT_ASSERT(i + 1 == block.instrs.size(),
+                          at, ": terminator not in tail position");
+            }
+
+            if (ins.op == Opcode::Jmpi || ins.op == Opcode::Brc ||
+                ins.op == Opcode::Brnc || ins.op == Opcode::Call) {
+                GT_ASSERT(ins.target >= 0 &&
+                          (size_t)ins.target < bin.blocks.size(),
+                          at, ": branch target ", ins.target,
+                          " out of range");
+            }
+
+            if (ins.op == Opcode::Cmp || readsFlag(ins.op)) {
+                GT_ASSERT(ins.flag < numFlags,
+                          at, ": flag register out of range");
+            }
+
+            if (ins.op == Opcode::Send) {
+                GT_ASSERT(ins.send.addrReg != noReg,
+                          at, ": send without address register");
+                GT_ASSERT(ins.send.addrReg < numRegisters,
+                          at, ": send address register out of range");
+                GT_ASSERT(ins.send.bytesPerLane > 0 &&
+                          ins.send.bytesPerLane <= 64,
+                          at, ": send bytes/lane out of range");
+                if (ins.send.isWrite) {
+                    GT_ASSERT(ins.src0.isReg(),
+                              at, ": store without data register");
+                } else {
+                    GT_ASSERT(ins.dst != noReg,
+                              at, ": load without destination");
+                }
+            }
+
+            if (ins.writesReg()) {
+                GT_ASSERT(ins.dst < numRegisters,
+                          at, ": dst register out of range");
+                GT_ASSERT(ins.dst <= bin.maxReg,
+                          at, ": dst register above maxReg");
+            }
+
+            verifyOperand(bin, ins.src0, at);
+            verifyOperand(bin, ins.src1, at);
+            verifyOperand(bin, ins.src2, at);
+        }
+
+        // Non-terminated blocks must have a fall-through successor.
+        if (!block.terminator()) {
+            GT_ASSERT(b + 1 < bin.blocks.size(),
+                      where, ": falls through past the last block");
+        }
+    }
+}
+
+} // namespace gt::isa

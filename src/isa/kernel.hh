@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Kernel binaries (CFGs of basic blocks) and kernel sources.
+ *
+ * A KernelSource is what the host program hands to the OpenCL runtime:
+ * a reference to a kernel template plus compile-time parameters. The
+ * GPU driver JIT-compiles a source into a KernelBinary — the artifact
+ * the GT-Pin binary rewriter instruments, exactly at the point the
+ * paper's Fig. 1 shows the binary being diverted to the rewriter.
+ */
+
+#ifndef GT_ISA_KERNEL_HH
+#define GT_ISA_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace gt::isa
+{
+
+/**
+ * A single-entry straight-line run of instructions.
+ *
+ * Successors are implicit: a terminator's target plus, for
+ * conditional branches and non-terminated blocks, the fall-through
+ * block (id + 1). Block ids are dense indices into
+ * KernelBinary::blocks.
+ */
+struct BasicBlock
+{
+    uint32_t id = 0;
+    std::vector<Instruction> instrs;
+
+    /** @return the terminator, or nullptr for pure fall-through. */
+    const Instruction *
+    terminator() const
+    {
+        if (instrs.empty())
+            return nullptr;
+        const Instruction &last = instrs.back();
+        return isTerminator(last.op) ? &last : nullptr;
+    }
+
+    /** Number of instructions excluding injected instrumentation. */
+    uint64_t
+    appInstrCount() const
+    {
+        uint64_t n = 0;
+        for (const auto &ins : instrs) {
+            if (ins.cls() != OpClass::Instrumentation)
+                ++n;
+        }
+        return n;
+    }
+};
+
+/**
+ * Compiled device code for one kernel: a CFG over basic blocks with
+ * block 0 as the entry. Subroutines (Call targets) live in the same
+ * block array.
+ */
+struct KernelBinary
+{
+    std::string name;
+    std::vector<BasicBlock> blocks;
+
+    /** Number of kernel arguments expected in the argument surface. */
+    uint32_t numArgs = 0;
+
+    /** Highest register index used, for verifier bounds checks. */
+    uint16_t maxReg = 0;
+
+    /** Static instruction count (all blocks, incl. instrumentation). */
+    uint64_t staticInstrCount() const;
+
+    /** Static count excluding instrumentation pseudo-ops. */
+    uint64_t staticAppInstrCount() const;
+
+    /** @return successor block ids of @p block. */
+    std::vector<uint32_t> successors(const BasicBlock &block) const;
+};
+
+/**
+ * What the host enqueues for compilation: a template name resolved by
+ * the driver's JIT compiler plus integer compile parameters (unrolling
+ * factors, tile sizes, data types...). Serializable, so CoFluent-style
+ * recordings can capture and replay kernel creation.
+ */
+struct KernelSource
+{
+    /** Kernel name (what clCreateKernel looks up); the JIT names the
+     * binary after it. */
+    std::string name;
+
+    std::string templateName;
+    std::vector<int64_t> params;
+
+    bool
+    operator==(const KernelSource &other) const
+    {
+        return name == other.name &&
+            templateName == other.templateName &&
+            params == other.params;
+    }
+};
+
+/**
+ * Interface the GPU driver uses to JIT-compile kernel sources. The
+ * workload library provides the concrete implementation backed by its
+ * kernel-template registry.
+ */
+class JitCompiler
+{
+  public:
+    virtual ~JitCompiler() = default;
+
+    /** Compile @p source to device code; throws FatalError if unknown. */
+    virtual KernelBinary compile(const KernelSource &source) const = 0;
+};
+
+/**
+ * Validate the structural invariants of a binary: non-empty entry,
+ * dense block ids, in-range branch targets and registers, terminators
+ * only in tail position, valid SIMD widths, and sane send descriptors.
+ * Throws PanicError describing the first violation.
+ */
+void verify(const KernelBinary &binary);
+
+} // namespace gt::isa
+
+#endif // GT_ISA_KERNEL_HH

@@ -1,0 +1,214 @@
+#include "isa/opcode.hh"
+
+#include "common/logging.hh"
+
+namespace gt::isa
+{
+
+OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mov:
+      case Opcode::Sel:
+        return OpClass::Move;
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Not:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Asr:
+      case Opcode::Cmp:
+        return OpClass::Logic;
+      case Opcode::Jmpi:
+      case Opcode::Brc:
+      case Opcode::Brnc:
+      case Opcode::Call:
+      case Opcode::Ret:
+      case Opcode::Halt:
+        return OpClass::Control;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Mad:
+      case Opcode::Min:
+      case Opcode::Max:
+      case Opcode::Avg:
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FMad:
+      case Opcode::FDiv:
+      case Opcode::Frc:
+      case Opcode::Sqrt:
+      case Opcode::Rsqrt:
+      case Opcode::Sin:
+      case Opcode::Cos:
+      case Opcode::Exp:
+      case Opcode::Log:
+      case Opcode::Dp4:
+      case Opcode::Lrp:
+      case Opcode::Pln:
+        return OpClass::Computation;
+      case Opcode::Send:
+        return OpClass::Send;
+      case Opcode::ProfCount:
+      case Opcode::ProfAdd:
+      case Opcode::ProfTimer:
+      case Opcode::ProfMem:
+        return OpClass::Instrumentation;
+      default:
+        panic("opClass: invalid opcode ", (int)op);
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mov: return "mov";
+      case Opcode::Sel: return "sel";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Not: return "not";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Asr: return "asr";
+      case Opcode::Cmp: return "cmp";
+      case Opcode::Jmpi: return "jmpi";
+      case Opcode::Brc: return "brc";
+      case Opcode::Brnc: return "brnc";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Halt: return "halt";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Mad: return "mad";
+      case Opcode::Min: return "min";
+      case Opcode::Max: return "max";
+      case Opcode::Avg: return "avg";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FMad: return "fmad";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::Frc: return "frc";
+      case Opcode::Sqrt: return "sqrt";
+      case Opcode::Rsqrt: return "rsqrt";
+      case Opcode::Sin: return "sin";
+      case Opcode::Cos: return "cos";
+      case Opcode::Exp: return "exp";
+      case Opcode::Log: return "log";
+      case Opcode::Dp4: return "dp4";
+      case Opcode::Lrp: return "lrp";
+      case Opcode::Pln: return "pln";
+      case Opcode::Send: return "send";
+      case Opcode::ProfCount: return "prof.count";
+      case Opcode::ProfAdd: return "prof.add";
+      case Opcode::ProfTimer: return "prof.timer";
+      case Opcode::ProfMem: return "prof.mem";
+      default:
+        panic("opcodeName: invalid opcode ", (int)op);
+    }
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Move: return "move";
+      case OpClass::Logic: return "logic";
+      case OpClass::Control: return "control";
+      case OpClass::Computation: return "computation";
+      case OpClass::Send: return "send";
+      case OpClass::Instrumentation: return "instrumentation";
+      default:
+        panic("opClassName: invalid class ", (int)cls);
+    }
+}
+
+const char *
+cmpOpName(CmpOp op)
+{
+    switch (op) {
+      case CmpOp::Eq: return "eq";
+      case CmpOp::Ne: return "ne";
+      case CmpOp::Lt: return "lt";
+      case CmpOp::Le: return "le";
+      case CmpOp::Gt: return "gt";
+      case CmpOp::Ge: return "ge";
+      default:
+        panic("cmpOpName: invalid cmp op ", (int)op);
+    }
+}
+
+bool
+isControl(Opcode op)
+{
+    return opClass(op) == OpClass::Control;
+}
+
+bool
+isTerminator(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jmpi:
+      case Opcode::Brc:
+      case Opcode::Brnc:
+      case Opcode::Ret:
+      case Opcode::Halt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+readsFlag(Opcode op)
+{
+    return op == Opcode::Brc || op == Opcode::Brnc || op == Opcode::Sel;
+}
+
+bool
+isFloatOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FMad:
+      case Opcode::FDiv:
+      case Opcode::Frc:
+      case Opcode::Sqrt:
+      case Opcode::Rsqrt:
+      case Opcode::Sin:
+      case Opcode::Cos:
+      case Opcode::Exp:
+      case Opcode::Log:
+      case Opcode::Dp4:
+      case Opcode::Lrp:
+      case Opcode::Pln:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+evalCmp(CmpOp op, uint32_t a, uint32_t b)
+{
+    auto sa = (int32_t)a;
+    auto sb = (int32_t)b;
+    switch (op) {
+      case CmpOp::Eq: return sa == sb;
+      case CmpOp::Ne: return sa != sb;
+      case CmpOp::Lt: return sa < sb;
+      case CmpOp::Le: return sa <= sb;
+      case CmpOp::Gt: return sa > sb;
+      case CmpOp::Ge: return sa >= sb;
+      default:
+        panic("evalCmp: invalid cmp op ", (int)op);
+    }
+}
+
+} // namespace gt::isa

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Opcodes of the GEN-like device ISA.
+ *
+ * The paper's characterization (Fig. 4a) groups Intel GEN instructions
+ * into five classes: moves, logic, control, computation, and sends
+ * (memory messages). This ISA reproduces that taxonomy. A sixth class
+ * covers the profiling pseudo-instructions injected by the GT-Pin
+ * binary rewriter; they execute on the device like any other
+ * instruction (so instrumentation overhead is real and measurable) but
+ * are excluded from application profiles.
+ */
+
+#ifndef GT_ISA_OPCODE_HH
+#define GT_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gt::isa
+{
+
+/** The five paper-visible instruction classes plus instrumentation. */
+enum class OpClass : uint8_t
+{
+    Move,
+    Logic,
+    Control,
+    Computation,
+    Send,
+    Instrumentation,
+};
+
+constexpr int numOpClasses = 6;
+
+/** Individual operations of the device ISA. */
+enum class Opcode : uint8_t
+{
+    // Moves
+    Mov,        //!< dst = src0
+    Sel,        //!< dst = flag ? src0 : src1
+
+    // Logic
+    And,        //!< bitwise and
+    Or,         //!< bitwise or
+    Xor,        //!< bitwise xor
+    Not,        //!< bitwise not
+    Shl,        //!< shift left
+    Shr,        //!< logical shift right
+    Asr,        //!< arithmetic shift right
+    Cmp,        //!< compare, writes a flag register
+
+    // Control
+    Jmpi,       //!< unconditional jump to block
+    Brc,        //!< branch to block if flag set
+    Brnc,       //!< branch to block if flag clear
+    Call,       //!< call subroutine block, push return
+    Ret,        //!< return from subroutine
+    Halt,       //!< terminate the thread
+
+    // Computation (integer and float arithmetic)
+    Add,        //!< integer add
+    Sub,        //!< integer subtract
+    Mul,        //!< integer multiply (low 32 bits)
+    Mad,        //!< dst = src0 * src1 + src2 (integer)
+    Min,        //!< integer minimum
+    Max,        //!< integer maximum
+    Avg,        //!< rounded average
+    FAdd,       //!< float add
+    FMul,       //!< float multiply
+    FMad,       //!< float fused multiply-add
+    FDiv,       //!< float divide
+    Frc,        //!< float fractional part
+    Sqrt,       //!< float square root
+    Rsqrt,      //!< float reciprocal square root
+    Sin,        //!< float sine
+    Cos,        //!< float cosine
+    Exp,        //!< float base-2 exponent
+    Log,        //!< float base-2 logarithm
+    Dp4,        //!< 4-element dot product (vector helper)
+    Lrp,        //!< linear interpolation
+    Pln,        //!< plane equation evaluation
+
+    // Sends (all device memory traffic flows through these)
+    Send,       //!< memory gather/scatter message
+
+    // Instrumentation pseudo-ops (GT-Pin rewriter only)
+    ProfCount,  //!< trace[slot] += imm
+    ProfAdd,    //!< trace[slot] += src0 lane 0
+    ProfTimer,  //!< trace[slot] += elapsed-cycles timer read
+    ProfMem,    //!< trace[slot] += bytes moved by the paired send
+
+    NumOpcodes,
+};
+
+constexpr int numOpcodes = static_cast<int>(Opcode::NumOpcodes);
+
+/** Comparison conditions for Cmp. */
+enum class CmpOp : uint8_t
+{
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+};
+
+/** Flag aggregation mode for conditional branches over SIMD lanes. */
+enum class FlagMode : uint8_t
+{
+    Lane0,  //!< use lane 0 only (scalar control, the common case)
+    Any,    //!< branch if any active lane's flag is set
+    All,    //!< branch if all active lanes' flags are set
+};
+
+/** @return the class of @p op. */
+OpClass opClass(Opcode op);
+
+/** @return the mnemonic for @p op. */
+const char *opcodeName(Opcode op);
+
+/** @return a short display name for @p cls ("move", "logic", ...). */
+const char *opClassName(OpClass cls);
+
+/** @return mnemonic for a comparison condition. */
+const char *cmpOpName(CmpOp op);
+
+/** @return true for Jmpi/Brc/Brnc/Call/Ret/Halt. */
+bool isControl(Opcode op);
+
+/** @return true if @p op ends a basic block when it appears. */
+bool isTerminator(Opcode op);
+
+/** @return true if @p op reads the flag register. */
+bool readsFlag(Opcode op);
+
+/** @return true for the float-typed computation opcodes. */
+bool isFloatOp(Opcode op);
+
+/** Resolve a comparison on two unsigned 32-bit values (as signed). */
+bool evalCmp(CmpOp op, uint32_t a, uint32_t b);
+
+} // namespace gt::isa
+
+#endif // GT_ISA_OPCODE_HH

@@ -1,0 +1,486 @@
+#include "ocl/runtime.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gt::ocl
+{
+
+ClRuntime::ClRuntime(GpuDriver &driver)
+    : drv(driver)
+{
+}
+
+void
+ClRuntime::addObserver(ApiObserver *observer)
+{
+    GT_ASSERT(observer, "null observer");
+    observers.push_back(observer);
+}
+
+void
+ClRuntime::removeObserver(ApiObserver *observer)
+{
+    observers.erase(
+        std::remove(observers.begin(), observers.end(), observer),
+        observers.end());
+}
+
+ApiCallRecord
+ClRuntime::record(ApiCallId id)
+{
+    ApiCallRecord rec;
+    rec.id = id;
+    rec.callIndex = nextCallIndex++;
+    return rec;
+}
+
+namespace
+{
+
+void
+broadcast(const std::vector<ApiObserver *> &observers,
+          const ApiCallRecord &rec)
+{
+    for (ApiObserver *obs : observers)
+        obs->onApiCall(rec);
+}
+
+} // anonymous namespace
+
+uint32_t
+ClRuntime::getPlatformIds()
+{
+    broadcast(observers, record(ApiCallId::GetPlatformIds));
+    return 1;
+}
+
+uint32_t
+ClRuntime::getDeviceIds()
+{
+    broadcast(observers, record(ApiCallId::GetDeviceIds));
+    return 1;
+}
+
+Context
+ClRuntime::createContext()
+{
+    broadcast(observers, record(ApiCallId::CreateContext));
+    return Context{nextContext++};
+}
+
+CommandQueue
+ClRuntime::createCommandQueue(Context ctx)
+{
+    ApiCallRecord rec = record(ApiCallId::CreateCommandQueue);
+    rec.uargs = {ctx.id};
+    broadcast(observers, rec);
+    return CommandQueue{nextQueue++};
+}
+
+Program
+ClRuntime::createProgramWithSource(
+    Context ctx, std::vector<isa::KernelSource> sources)
+{
+    GT_ASSERT(!sources.empty(), "program with no kernel sources");
+    ApiCallRecord rec = record(ApiCallId::CreateProgramWithSource);
+    rec.uargs = {ctx.id};
+    rec.sources = sources;
+    broadcast(observers, rec);
+    programs.push_back(std::move(sources));
+    programBuilt.push_back(false);
+    programKernels.emplace_back();
+    return Program{(uint32_t)(programs.size() - 1)};
+}
+
+void
+ClRuntime::buildProgram(Program program)
+{
+    GT_ASSERT(program.id < programs.size(), "invalid program handle");
+    ApiCallRecord rec = record(ApiCallId::BuildProgram);
+    rec.uargs = {program.id};
+    broadcast(observers, rec);
+    if (programBuilt[program.id])
+        return;
+    for (const auto &src : programs[program.id]) {
+        uint32_t kid = drv.buildKernel(src);
+        const std::string &name = drv.binary(kid).name;
+        GT_ASSERT(!programKernels[program.id].count(name),
+                  "program defines kernel '", name, "' twice");
+        programKernels[program.id][name] = kid;
+    }
+    programBuilt[program.id] = true;
+}
+
+Kernel
+ClRuntime::createKernel(Program program, const std::string &name)
+{
+    GT_ASSERT(program.id < programs.size(), "invalid program handle");
+    ApiCallRecord rec = record(ApiCallId::CreateKernel);
+    rec.kernelName = name;
+    rec.uargs = {program.id};
+    broadcast(observers, rec);
+
+    GT_ASSERT(programBuilt[program.id],
+              "createKernel before buildProgram");
+    auto it = programKernels[program.id].find(name);
+    if (it == programKernels[program.id].end())
+        fatal("program has no kernel named '", name, "'");
+
+    KernelObj obj;
+    obj.driverKernelId = it->second;
+    obj.name = name;
+    obj.numArgs = drv.binary(it->second).numArgs;
+    kernelObjs.push_back(std::move(obj));
+    return Kernel{(uint32_t)(kernelObjs.size() - 1)};
+}
+
+Mem
+ClRuntime::createBuffer(Context ctx, uint64_t bytes)
+{
+    ApiCallRecord rec = record(ApiCallId::CreateBuffer);
+    rec.uargs = {ctx.id, bytes};
+    broadcast(observers, rec);
+    MemObj obj;
+    obj.size = bytes;
+    obj.address = drv.memory().allocate(bytes);
+    memObjs.push_back(obj);
+    return Mem{(uint32_t)(memObjs.size() - 1)};
+}
+
+Mem
+ClRuntime::createImage2D(Context ctx, uint32_t width, uint32_t height,
+                         uint32_t bytes_per_pixel)
+{
+    ApiCallRecord rec = record(ApiCallId::CreateImage2D);
+    rec.uargs = {ctx.id, width, height, bytes_per_pixel};
+    broadcast(observers, rec);
+    MemObj obj;
+    obj.size = (uint64_t)width * height * bytes_per_pixel;
+    obj.address = drv.memory().allocate(obj.size);
+    obj.isImage = true;
+    memObjs.push_back(obj);
+    return Mem{(uint32_t)(memObjs.size() - 1)};
+}
+
+ClRuntime::KernelObj &
+ClRuntime::kernelObj(Kernel kernel)
+{
+    GT_ASSERT(kernel.id < kernelObjs.size(), "invalid kernel handle");
+    return kernelObjs[kernel.id];
+}
+
+ClRuntime::MemObj &
+ClRuntime::memObj(Mem mem)
+{
+    GT_ASSERT(mem.id < memObjs.size(), "invalid mem handle");
+    GT_ASSERT(!memObjs[mem.id].released, "use of released mem object");
+    return memObjs[mem.id];
+}
+
+const ClRuntime::MemObj &
+ClRuntime::memObj(Mem mem) const
+{
+    GT_ASSERT(mem.id < memObjs.size(), "invalid mem handle");
+    return memObjs[mem.id];
+}
+
+void
+ClRuntime::setKernelArg(Kernel kernel, uint32_t index, uint32_t value)
+{
+    ApiCallRecord rec = record(ApiCallId::SetKernelArg);
+    rec.kernelName = kernelObj(kernel).name;
+    rec.uargs = {kernel.id, index, value, 0};
+    broadcast(observers, rec);
+    KernelObj &obj = kernelObj(kernel);
+    GT_ASSERT(index < obj.numArgs, obj.name, ": argument index ",
+              index, " out of range");
+    obj.args[index] = value;
+}
+
+void
+ClRuntime::setKernelArg(Kernel kernel, uint32_t index, Mem mem)
+{
+    ApiCallRecord rec = record(ApiCallId::SetKernelArg);
+    rec.kernelName = kernelObj(kernel).name;
+    rec.uargs = {kernel.id, index, mem.id, 1};
+    broadcast(observers, rec);
+    KernelObj &obj = kernelObj(kernel);
+    GT_ASSERT(index < obj.numArgs, obj.name, ": argument index ",
+              index, " out of range");
+    // Buffer arguments pass the buffer's device address.
+    obj.args[index] = (uint32_t)memObj(mem).address;
+}
+
+Event
+ClRuntime::enqueueWriteBuffer(CommandQueue queue, Mem mem,
+                              uint64_t offset,
+                              const std::vector<uint8_t> &data)
+{
+    ApiCallRecord rec = record(ApiCallId::EnqueueWriteBuffer);
+    rec.uargs = {queue.id, mem.id, offset};
+    rec.payload = data;
+    broadcast(observers, rec);
+    MemObj &obj = memObj(mem);
+    GT_ASSERT(offset + data.size() <= obj.size,
+              "write exceeds buffer size");
+    drv.memory().copyIn(obj.address + offset, data.data(),
+                        data.size());
+    timeline += drv.transferSeconds(data.size());
+    return Event{nextEvent++};
+}
+
+Event
+ClRuntime::enqueueFillBuffer(CommandQueue queue, Mem mem,
+                             uint32_t pattern, uint64_t offset,
+                             uint64_t bytes)
+{
+    ApiCallRecord rec = record(ApiCallId::EnqueueFillBuffer);
+    rec.uargs = {queue.id, mem.id, pattern, offset, bytes};
+    broadcast(observers, rec);
+    MemObj &obj = memObj(mem);
+    GT_ASSERT(offset + bytes <= obj.size,
+              "fill exceeds buffer size");
+    for (uint64_t b = 0; b + 4 <= bytes; b += 4)
+        drv.memory().write32(obj.address + offset + b, pattern);
+    timeline += drv.transferSeconds(bytes);
+    return Event{nextEvent++};
+}
+
+Event
+ClRuntime::enqueueNDRangeKernel(CommandQueue queue, Kernel kernel,
+                                uint64_t global_work_size,
+                                uint8_t simd_width)
+{
+    (void)queue;
+    KernelObj &obj = kernelObj(kernel);
+    GT_ASSERT(global_work_size > 0, obj.name,
+              ": zero global work size");
+
+    PendingDispatch pd;
+    pd.seq = nextDispatchSeq++;
+    pd.driverKernelId = obj.driverKernelId;
+    pd.globalSize = global_work_size;
+    pd.simdWidth = simd_width;
+    pd.args.resize(obj.numArgs, 0);
+    for (uint32_t a = 0; a < obj.numArgs; ++a) {
+        auto it = obj.args.find(a);
+        GT_ASSERT(it != obj.args.end(), obj.name, ": argument ", a,
+                  " not set before enqueue");
+        pd.args[a] = it->second;
+    }
+
+    ApiCallRecord rec = record(ApiCallId::EnqueueNDRangeKernel);
+    rec.kernelName = obj.name;
+    rec.globalWorkSize = global_work_size;
+    rec.dispatchSeq = pd.seq;
+    rec.uargs = {queue.id, kernel.id, global_work_size, simd_width};
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t a : pd.args) {
+        h ^= a;
+        h *= 0x100000001b3ULL;
+    }
+    rec.argsHash = h;
+    broadcast(observers, rec);
+
+    pd.eventId = nextEvent++;
+    Event ev{pd.eventId};
+    pending.push_back(std::move(pd));
+    return ev;
+}
+
+void
+ClRuntime::drainQueue()
+{
+    // Kernels executed asynchronously since the last alignment point
+    // now run to completion on the device.
+    std::vector<PendingDispatch> work;
+    work.swap(pending);
+    for (const auto &pd : work) {
+        DispatchResult result = drv.execute(
+            pd.driverKernelId, pd.globalSize, pd.simdWidth, pd.args);
+        timeline += result.time.seconds;
+        eventTimes[pd.eventId] = result.time.seconds;
+        for (ApiObserver *obs : observers)
+            obs->onDispatchExecuted(result);
+    }
+}
+
+void
+ClRuntime::finish(CommandQueue queue)
+{
+    ApiCallRecord rec = record(ApiCallId::Finish);
+    rec.uargs = {queue.id};
+    broadcast(observers, rec);
+    drainQueue();
+}
+
+void
+ClRuntime::flush(CommandQueue queue)
+{
+    ApiCallRecord rec = record(ApiCallId::Flush);
+    rec.uargs = {queue.id};
+    broadcast(observers, rec);
+    // Modeled like the paper treats it: a host/device alignment
+    // point (see DESIGN.md deviations).
+    drainQueue();
+}
+
+void
+ClRuntime::waitForEvents(const std::vector<Event> &events)
+{
+    ApiCallRecord rec = record(ApiCallId::WaitForEvents);
+    rec.uargs = {events.size()};
+    broadcast(observers, rec);
+    drainQueue();
+}
+
+std::vector<uint8_t>
+ClRuntime::enqueueReadBuffer(CommandQueue queue, Mem mem,
+                             uint64_t offset, uint64_t bytes)
+{
+    ApiCallRecord rec = record(ApiCallId::EnqueueReadBuffer);
+    rec.uargs = {queue.id, mem.id, offset, bytes};
+    broadcast(observers, rec);
+    drainQueue();
+    const MemObj &obj = memObj(mem);
+    GT_ASSERT(offset + bytes <= obj.size,
+              "read exceeds buffer size");
+    std::vector<uint8_t> data(bytes);
+    drv.memory().copyOut(obj.address + offset, data.data(), bytes);
+    timeline += drv.transferSeconds(bytes);
+    return data;
+}
+
+std::vector<uint8_t>
+ClRuntime::enqueueReadImage(CommandQueue queue, Mem image)
+{
+    ApiCallRecord rec = record(ApiCallId::EnqueueReadImage);
+    rec.uargs = {queue.id, image.id};
+    broadcast(observers, rec);
+    drainQueue();
+    const MemObj &obj = memObj(image);
+    GT_ASSERT(obj.isImage, "enqueueReadImage on a non-image");
+    std::vector<uint8_t> data(obj.size);
+    drv.memory().copyOut(obj.address, data.data(), obj.size);
+    timeline += drv.transferSeconds(obj.size);
+    return data;
+}
+
+Event
+ClRuntime::enqueueCopyBuffer(CommandQueue queue, Mem src, Mem dst,
+                             uint64_t bytes)
+{
+    ApiCallRecord rec = record(ApiCallId::EnqueueCopyBuffer);
+    rec.uargs = {queue.id, src.id, dst.id, bytes};
+    broadcast(observers, rec);
+    drainQueue();
+    const MemObj &s = memObj(src);
+    const MemObj &d = memObj(dst);
+    GT_ASSERT(bytes <= s.size && bytes <= d.size,
+              "copy exceeds buffer size");
+    std::vector<uint8_t> tmp(bytes);
+    drv.memory().copyOut(s.address, tmp.data(), bytes);
+    drv.memory().copyIn(d.address, tmp.data(), bytes);
+    timeline += drv.transferSeconds(bytes);
+    return Event{nextEvent++};
+}
+
+Event
+ClRuntime::enqueueCopyImageToBuffer(CommandQueue queue, Mem image,
+                                    Mem buffer)
+{
+    ApiCallRecord rec =
+        record(ApiCallId::EnqueueCopyImageToBuffer);
+    rec.uargs = {queue.id, image.id, buffer.id};
+    broadcast(observers, rec);
+    drainQueue();
+    const MemObj &img = memObj(image);
+    const MemObj &buf = memObj(buffer);
+    GT_ASSERT(img.isImage, "copyImageToBuffer on a non-image");
+    uint64_t bytes = std::min(img.size, buf.size);
+    std::vector<uint8_t> tmp(bytes);
+    drv.memory().copyOut(img.address, tmp.data(), bytes);
+    drv.memory().copyIn(buf.address, tmp.data(), bytes);
+    timeline += drv.transferSeconds(bytes);
+    return Event{nextEvent++};
+}
+
+uint64_t
+ClRuntime::getKernelWorkGroupInfo(Kernel kernel)
+{
+    ApiCallRecord rec = record(ApiCallId::GetKernelWorkGroupInfo);
+    rec.kernelName = kernelObj(kernel).name;
+    rec.uargs = {kernel.id};
+    broadcast(observers, rec);
+    // Preferred work-group size multiple: the dispatch SIMD width.
+    return 16;
+}
+
+double
+ClRuntime::getEventProfilingInfo(Event event)
+{
+    ApiCallRecord rec = record(ApiCallId::GetEventProfilingInfo);
+    rec.uargs = {event.id};
+    broadcast(observers, rec);
+    auto it = eventTimes.find(event.id);
+    return it == eventTimes.end() ? 0.0 : it->second;
+}
+
+void
+ClRuntime::releaseMemObject(Mem mem)
+{
+    ApiCallRecord rec = record(ApiCallId::ReleaseMemObject);
+    rec.uargs = {mem.id};
+    broadcast(observers, rec);
+    memObj(mem).released = true;
+}
+
+void
+ClRuntime::releaseKernel(Kernel kernel)
+{
+    ApiCallRecord rec = record(ApiCallId::ReleaseKernel);
+    rec.kernelName = kernelObj(kernel).name;
+    rec.uargs = {kernel.id};
+    broadcast(observers, rec);
+}
+
+void
+ClRuntime::releaseProgram(Program program)
+{
+    ApiCallRecord rec = record(ApiCallId::ReleaseProgram);
+    rec.uargs = {program.id};
+    broadcast(observers, rec);
+}
+
+void
+ClRuntime::releaseCommandQueue(CommandQueue queue)
+{
+    ApiCallRecord rec = record(ApiCallId::ReleaseCommandQueue);
+    rec.uargs = {queue.id};
+    broadcast(observers, rec);
+    drainQueue();
+}
+
+void
+ClRuntime::releaseContext(Context ctx)
+{
+    ApiCallRecord rec2 = record(ApiCallId::ReleaseContext);
+    rec2.uargs = {ctx.id};
+    broadcast(observers, rec2);
+}
+
+uint64_t
+ClRuntime::bufferAddress(Mem mem) const
+{
+    return memObj(mem).address;
+}
+
+uint64_t
+ClRuntime::bufferSize(Mem mem) const
+{
+    return memObj(mem).size;
+}
+
+} // namespace gt::ocl

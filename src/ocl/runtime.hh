@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The OpenCL-style host runtime.
+ *
+ * Host programs (the workloads in src/workloads) drive this API the
+ * way real OpenCL applications drive the CL runtime: create a
+ * context and queue, build programs, set kernel arguments, enqueue
+ * ND-range kernels, and synchronize. Kernel dispatches are
+ * asynchronous — they accumulate in the command queue and execute
+ * when one of the seven synchronization calls aligns host and
+ * device, which is precisely why the paper treats those calls as the
+ * only legal simulation-interval boundaries.
+ *
+ * Every entry point is observable (ApiObserver), which is how the
+ * CoFluent-style tracer captures the full call stream without
+ * perturbing the application.
+ */
+
+#ifndef GT_OCL_RUNTIME_HH
+#define GT_OCL_RUNTIME_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ocl/api_call.hh"
+#include "ocl/driver.hh"
+
+namespace gt::ocl
+{
+
+/** Opaque handle types mirroring the OpenCL object model. @{ */
+struct Context { uint32_t id = 0; };
+struct CommandQueue { uint32_t id = 0; };
+struct Program { uint32_t id = 0; };
+struct Kernel { uint32_t id = 0; };
+struct Mem { uint32_t id = 0; };
+struct Event { uint64_t id = 0; };
+/** @} */
+
+/**
+ * Observer of runtime activity; the CoFluent-analogue tracer and the
+ * record/replay recorder implement this.
+ */
+class ApiObserver
+{
+  public:
+    virtual ~ApiObserver() = default;
+
+    /** Every API entry point reports here on entry. */
+    virtual void onApiCall(const ApiCallRecord &record) { (void)record; }
+
+    /** Each dispatch reports here once the device has executed it. */
+    virtual void
+    onDispatchExecuted(const DispatchResult &result)
+    {
+        (void)result;
+    }
+};
+
+/** The host-side OpenCL-style runtime, bound to one GPU driver. */
+class ClRuntime
+{
+  public:
+    explicit ClRuntime(GpuDriver &driver);
+
+    void addObserver(ApiObserver *observer);
+    void removeObserver(ApiObserver *observer);
+
+    // --- Platform / context setup ---------------------------------
+    uint32_t getPlatformIds();
+    uint32_t getDeviceIds();
+    Context createContext();
+    CommandQueue createCommandQueue(Context ctx);
+
+    // --- Programs and kernels --------------------------------------
+    Program createProgramWithSource(
+        Context ctx, std::vector<isa::KernelSource> sources);
+
+    /** JIT-compiles every kernel in the program (Fig. 1). */
+    void buildProgram(Program program);
+
+    Kernel createKernel(Program program, const std::string &name);
+
+    // --- Memory objects ---------------------------------------------
+    Mem createBuffer(Context ctx, uint64_t bytes);
+    Mem createImage2D(Context ctx, uint32_t width, uint32_t height,
+                      uint32_t bytes_per_pixel = 4);
+
+    // --- Arguments ----------------------------------------------------
+    void setKernelArg(Kernel kernel, uint32_t index, uint32_t value);
+    void setKernelArg(Kernel kernel, uint32_t index, Mem mem);
+
+    // --- Asynchronous work -----------------------------------------
+    Event enqueueWriteBuffer(CommandQueue queue, Mem mem,
+                             uint64_t offset,
+                             const std::vector<uint8_t> &data);
+    Event enqueueFillBuffer(CommandQueue queue, Mem mem,
+                            uint32_t pattern, uint64_t offset,
+                            uint64_t bytes);
+    Event enqueueNDRangeKernel(CommandQueue queue, Kernel kernel,
+                               uint64_t global_work_size,
+                               uint8_t simd_width = 16);
+
+    // --- The seven synchronization calls ---------------------------
+    void finish(CommandQueue queue);
+    void flush(CommandQueue queue);
+    void waitForEvents(const std::vector<Event> &events);
+    std::vector<uint8_t> enqueueReadBuffer(CommandQueue queue,
+                                           Mem mem, uint64_t offset,
+                                           uint64_t bytes);
+    std::vector<uint8_t> enqueueReadImage(CommandQueue queue,
+                                          Mem image);
+    Event enqueueCopyBuffer(CommandQueue queue, Mem src, Mem dst,
+                            uint64_t bytes);
+    Event enqueueCopyImageToBuffer(CommandQueue queue, Mem image,
+                                   Mem buffer);
+
+    // --- Queries and cleanup ---------------------------------------
+    uint64_t getKernelWorkGroupInfo(Kernel kernel);
+    double getEventProfilingInfo(Event event);
+    void releaseMemObject(Mem mem);
+    void releaseKernel(Kernel kernel);
+    void releaseProgram(Program program);
+    void releaseCommandQueue(CommandQueue queue);
+    void releaseContext(Context ctx);
+
+    // --- Introspection (not API calls; used by tests/harnesses) ----
+    uint64_t bufferAddress(Mem mem) const;
+    uint64_t bufferSize(Mem mem) const;
+    uint64_t apiCallCount() const { return nextCallIndex; }
+    uint64_t dispatchCount() const { return nextDispatchSeq; }
+    double deviceTimelineSeconds() const { return timeline; }
+    GpuDriver &driver() { return drv; }
+
+  private:
+    struct KernelObj
+    {
+        uint32_t driverKernelId = 0;
+        std::string name;
+        uint32_t numArgs = 0;
+        std::map<uint32_t, uint32_t> args;
+    };
+
+    struct MemObj
+    {
+        uint64_t address = 0;
+        uint64_t size = 0;
+        bool isImage = false;
+        bool released = false;
+    };
+
+    struct PendingDispatch
+    {
+        uint64_t seq = 0;
+        uint64_t eventId = 0;
+        uint32_t driverKernelId = 0;
+        uint64_t globalSize = 0;
+        uint8_t simdWidth = 16;
+        std::vector<uint32_t> args;
+    };
+
+    /** Build and broadcast the call record for an entry point. */
+    ApiCallRecord record(ApiCallId id);
+
+    /** Execute all pending dispatches (host/device alignment). */
+    void drainQueue();
+
+    KernelObj &kernelObj(Kernel kernel);
+    MemObj &memObj(Mem mem);
+    const MemObj &memObj(Mem mem) const;
+
+    GpuDriver &drv;
+    std::vector<ApiObserver *> observers;
+
+    std::vector<std::vector<isa::KernelSource>> programs;
+    std::vector<bool> programBuilt;
+    /** program id -> kernel name -> driver kernel id */
+    std::vector<std::map<std::string, uint32_t>> programKernels;
+    std::vector<KernelObj> kernelObjs;
+    std::vector<MemObj> memObjs;
+    std::vector<PendingDispatch> pending;
+    std::map<uint64_t, double> eventTimes;
+
+    uint32_t nextContext = 0;
+    uint32_t nextQueue = 0;
+    uint64_t nextCallIndex = 0;
+    uint64_t nextDispatchSeq = 0;
+    uint64_t nextEvent = 0;
+    double timeline = 0.0;
+};
+
+} // namespace gt::ocl
+
+#endif // GT_OCL_RUNTIME_HH

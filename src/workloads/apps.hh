@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Internal registration hooks for the per-suite application files.
+ */
+
+#ifndef GT_WORKLOADS_APPS_HH
+#define GT_WORKLOADS_APPS_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace gt::workloads
+{
+
+/** The 15 CompuBench CL 1.2 desktop+mobile applications. */
+std::vector<const Workload *> compubenchApps();
+
+/** The 3 SiSoftware Sandra 2014 applications. */
+std::vector<const Workload *> sandraApps();
+
+/** The 7 Sony Vegas Pro press-project regions. */
+std::vector<const Workload *> sonyVegasApps();
+
+} // namespace gt::workloads
+
+#endif // GT_WORKLOADS_APPS_HH

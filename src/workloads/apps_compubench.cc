@@ -1,0 +1,920 @@
+/**
+ * @file
+ * The 15 CompuBench CL 1.2 applications (desktop and mobile suites),
+ * spanning graphics, physics, image processing, throughput, and
+ * computer vision. Each host program mirrors its real counterpart's
+ * published shape: kernel/sync/other API mix (Fig. 3a), unique
+ * kernel and basic-block counts (Fig. 3b), invocation counts
+ * (Fig. 3c), and instruction/memory character (Fig. 4).
+ */
+
+#include "workloads/apps.hh"
+
+#include "isa/kernel.hh"
+
+namespace gt::workloads
+{
+
+using isa::KernelSource;
+using ocl::ClRuntime;
+using ocl::CommandQueue;
+using ocl::Kernel;
+using ocl::Mem;
+using ocl::Program;
+
+namespace
+{
+
+/**
+ * GFXBench-style T-Rex chase scene: many distinct shader passes
+ * (geometry, shadow, lighting, post) per frame with per-frame
+ * synchronization.
+ */
+class TRex : public AppBase
+{
+  public:
+    TRex()
+        : AppBase("cb-graphics-t-rex", "CompuBench CL 1.2 Desktop",
+                  "graphics")
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        std::vector<KernelSource> sources;
+        for (int i = 0; i < 8; ++i) {
+            sources.push_back({"trex_shade" + std::to_string(i),
+                               "shader",
+                               {8 + i, 0xffff, i % 2 ? 8 : 16}});
+        }
+        for (int i = 0; i < 4; ++i) {
+            sources.push_back({"trex_geom" + std::to_string(i),
+                               "deep",
+                               {600 + 200 * i,
+                                (int64_t)0xc3a5c85cu + i, 0xffff, 8}});
+        }
+        for (int i = 0; i < 4; ++i) {
+            sources.push_back({"trex_post" + std::to_string(i),
+                               "blend", {10 + 4 * i, 0xffff, 16}});
+        }
+        for (int i = 0; i < 4; ++i) {
+            sources.push_back({"trex_tex" + std::to_string(i), "lut",
+                               {12, 0xff, 0xffff, 16}});
+        }
+        for (int i = 0; i < 4; ++i) {
+            sources.push_back({"trex_stream" + std::to_string(i),
+                               "stream", {40 + 8 * i, 0xffff, 16}});
+        }
+        Program prog = rt.createProgramWithSource(s.ctx, sources);
+        rt.buildProgram(prog);
+
+        std::vector<Kernel> shade, geom, post, tex, stream;
+        for (int i = 0; i < 8; ++i)
+            shade.push_back(rt.createKernel(
+                prog, "trex_shade" + std::to_string(i)));
+        for (int i = 0; i < 4; ++i)
+            geom.push_back(rt.createKernel(
+                prog, "trex_geom" + std::to_string(i)));
+        for (int i = 0; i < 4; ++i)
+            post.push_back(rt.createKernel(
+                prog, "trex_post" + std::to_string(i)));
+        for (int i = 0; i < 4; ++i)
+            tex.push_back(rt.createKernel(
+                prog, "trex_tex" + std::to_string(i)));
+        for (int i = 0; i < 4; ++i)
+            stream.push_back(rt.createKernel(
+                prog, "trex_stream" + std::to_string(i)));
+
+        Mem vb = makeBuffer(s, 1 << 16);
+        Mem fb = makeBuffer(s, 1 << 16);
+        Mem texels = makeBuffer(s, 1 << 16);
+        Mem lut = makeBuffer(s, 1 << 8);
+
+        const int frames = 280;
+        for (int f = 0; f < frames; ++f) {
+            // Scene phases: intro (geometry heavy), chase (shading
+            // heavy), finale (post heavy).
+            int phase = f < 40 ? 0 : (f < 120 ? 1 : 2);
+
+            uint32_t scene_sel = phase == 0 ? 0x0f0fu
+                : (phase == 1 ? 0x3333u : 0x7f00u);
+            for (int i = 0; i < 4; ++i) {
+                Kernel k = geom[(f + i) % 4];
+                rt.setKernelArg(k, 0, vb);
+                rt.setKernelArg(k, 1, fb);
+                rt.setKernelArg(k, 2, scene_sel);
+                rt.setKernelArg(k, 3, (uint32_t)f);
+                rt.enqueueNDRangeKernel(
+                    s.queue, k, phase == 0 ? 32768 : 16384, 8);
+            }
+            int shade_passes = phase == 1 ? 8 : 4;
+            for (int i = 0; i < shade_passes; ++i) {
+                Kernel k = shade[(f + i) % 8];
+                rt.setKernelArg(k, 0, texels);
+                rt.setKernelArg(k, 1, fb);
+                rt.setKernelArg(k, 2, 0x3f000000u + (uint32_t)f);
+                rt.enqueueNDRangeKernel(s.queue, k, 524288,
+                                        i % 2 ? 8 : 16);
+            }
+            for (int i = 0; i < 2; ++i) {
+                Kernel k = tex[(f + i) % 4];
+                rt.setKernelArg(k, 0, texels);
+                rt.setKernelArg(k, 1, lut);
+                rt.setKernelArg(k, 2, fb);
+                rt.setKernelArg(k, 3,
+                                (uint32_t)(phase * 3 + f * 65536));
+                rt.enqueueNDRangeKernel(s.queue, k, 16384, 16);
+            }
+            int post_passes = phase == 2 ? 4 : 2;
+            for (int i = 0; i < post_passes; ++i) {
+                Kernel k = post[(f + i) % 4];
+                rt.setKernelArg(k, 0, fb);
+                rt.setKernelArg(k, 1, texels);
+                rt.setKernelArg(k, 2, fb);
+                rt.setKernelArg(k, 3, 0x3e800000u);
+                rt.enqueueNDRangeKernel(s.queue, k, 524288, 16);
+            }
+            Kernel k = stream[f % 4];
+            rt.setKernelArg(k, 0, vb);
+            rt.setKernelArg(k, 1, fb);
+            rt.setKernelArg(k, 2, 0x3f800000u);
+            rt.setKernelArg(k, 3,
+                            (uint32_t)(phase * 5 + f * 4096));
+            rt.enqueueNDRangeKernel(s.queue, k, 16384, 16);
+
+            rt.finish(s.queue);
+        }
+        rt.enqueueReadBuffer(s.queue, fb, 0, 4096);
+        rt.releaseMemObject(vb);
+        rt.releaseMemObject(fb);
+        rt.releaseMemObject(texels);
+        rt.releaseMemObject(lut);
+        end(s);
+    }
+};
+
+/**
+ * Ocean-surface physics: FFT synthesis stages plus an n-body-style
+ * wave interaction step per simulated frame.
+ */
+class OceanSurf : public AppBase
+{
+  public:
+    OceanSurf()
+        : AppBase("cb-physics-ocean-surf",
+                  "CompuBench CL 1.2 Desktop", "physics")
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        std::vector<KernelSource> sources;
+        for (int i = 0; i < 8; ++i) {
+            sources.push_back({"ocean_fft" + std::to_string(i), "fft",
+                               {12 + 2 * i, 0xffff, 16}});
+        }
+        sources.push_back({"ocean_interact", "nbody",
+                           {96, 0xffff, 8}});
+        sources.push_back({"ocean_spray", "particle",
+                           {24, 0xffff, 8}});
+        sources.push_back({"ocean_normals", "stream",
+                           {48, 0xffff, 16}});
+        sources.push_back({"ocean_pack", "stream",
+                           {24, 0xffff, 8}});
+        Program prog = rt.createProgramWithSource(s.ctx, sources);
+        rt.buildProgram(prog);
+
+        std::vector<Kernel> fft;
+        for (int i = 0; i < 8; ++i)
+            fft.push_back(rt.createKernel(
+                prog, "ocean_fft" + std::to_string(i)));
+        Kernel interact = rt.createKernel(prog, "ocean_interact");
+        Kernel spray = rt.createKernel(prog, "ocean_spray");
+        Kernel normals = rt.createKernel(prog, "ocean_normals");
+        Kernel pack = rt.createKernel(prog, "ocean_pack");
+
+        Mem spectrum = makeBuffer(s, 1 << 16);
+        Mem heights = makeBuffer(s, 1 << 16);
+        Mem velocity = makeBuffer(s, 1 << 16);
+
+        const int frames = 320;
+        for (int f = 0; f < frames; ++f) {
+            // Rows then columns: two FFT sweeps of 4 stages each.
+            for (int sweep = 0; sweep < 2; ++sweep) {
+                for (int st = 0; st < 4; ++st) {
+                    Kernel k = fft[sweep * 4 + st];
+                    rt.setKernelArg(k, 0, spectrum);
+                    rt.setKernelArg(k, 1, (uint32_t)(1 << st));
+                    rt.setKernelArg(k, 2, heights);
+                    rt.enqueueNDRangeKernel(s.queue, k, 524288, 16);
+                }
+            }
+            rt.setKernelArg(interact, 0, heights);
+            rt.setKernelArg(interact, 1, velocity);
+            rt.setKernelArg(interact, 2,
+                            0x3c23d70au + (uint32_t)(f & 15));
+            rt.enqueueNDRangeKernel(s.queue, interact, 524288, 8);
+            if (f % 2 == 0) {
+                rt.setKernelArg(spray, 0, heights);
+                rt.setKernelArg(spray, 1, velocity);
+                rt.setKernelArg(spray, 2, 0x3c23d70au);
+                rt.enqueueNDRangeKernel(s.queue, spray, 262144, 8);
+            }
+            rt.setKernelArg(normals, 0, heights);
+            rt.setKernelArg(normals, 1, spectrum);
+            rt.setKernelArg(normals, 2, 0x3f800000u);
+            rt.setKernelArg(normals, 3,
+                            (uint32_t)((f / 48) * 7 + f * 256));
+            rt.enqueueNDRangeKernel(s.queue, normals, 524288, 16);
+            rt.setKernelArg(pack, 0, heights);
+            rt.setKernelArg(pack, 1, spectrum);
+            rt.setKernelArg(pack, 2, 0x3f000000u);
+            rt.setKernelArg(pack, 3, (uint32_t)(f * 31));
+            rt.enqueueNDRangeKernel(s.queue, pack, 16384, 8);
+            rt.finish(s.queue);
+            if (f % 16 == 15)
+                rt.enqueueReadBuffer(s.queue, heights, 0, 8192);
+        }
+        rt.releaseMemObject(spectrum);
+        rt.releaseMemObject(heights);
+        rt.releaseMemObject(velocity);
+        end(s);
+    }
+};
+
+/**
+ * Bitcoin mining throughput: two SHA-style kernels re-dispatched
+ * over nonce batches. Kernel calls are a very small fraction of the
+ * API stream (the paper reports 4.5%) — argument updates and result
+ * polls dominate.
+ */
+class Bitcoin : public AppBase
+{
+  public:
+    Bitcoin()
+        : AppBase("cb-throughput-bitcoin",
+                  "CompuBench CL 1.2 Desktop", "throughput")
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        Program prog = rt.createProgramWithSource(
+            s.ctx, {{"btc_sha_first", "hash", {64, 8}},
+                    {"btc_sha_second", "hash", {80, 8}}});
+        rt.buildProgram(prog);
+        Kernel first = rt.createKernel(prog, "btc_sha_first");
+        Kernel second = rt.createKernel(prog, "btc_sha_second");
+
+        Mem header = makeBuffer(s, 1 << 12);
+        Mem results = makeBuffer(s, 1 << 12);
+
+        const int batches = 700;
+        for (int b = 0; b < batches; ++b) {
+            Kernel k = b % 2 ? second : first;
+            // The miner re-seeds the midstate words one by one, then
+            // polls timing — many "other" calls per kernel call.
+            for (uint32_t word = 0; word < 8; ++word) {
+                rt.setKernelArg(k, 0, header);
+                rt.setKernelArg(k, 1, results);
+                rt.setKernelArg(k, 2, (uint32_t)(b * 0x10000 + word));
+            }
+            ocl::Event ev = rt.enqueueNDRangeKernel(
+                s.queue, k, 1 << 20, 8);
+            rt.getKernelWorkGroupInfo(k);
+            rt.getEventProfilingInfo(ev);
+            if (b % 16 == 15)
+                rt.flush(s.queue);
+        }
+        rt.enqueueReadBuffer(s.queue, results, 0, 4096);
+        rt.releaseMemObject(header);
+        rt.releaseMemObject(results);
+        end(s);
+    }
+};
+
+/** Sliding-window cascade face detection over an image pyramid. */
+class FaceDetect : public AppBase
+{
+  public:
+    FaceDetect(std::string name, std::string suite, int num_cascades,
+               int frames, int base_stages)
+        : AppBase(std::move(name), std::move(suite), "vision"),
+          numCascades(num_cascades), frames(frames),
+          baseStages(base_stages)
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        std::vector<KernelSource> sources;
+        for (int i = 0; i < numCascades; ++i) {
+            sources.push_back({"fd_cascade" + std::to_string(i),
+                               "cascade",
+                               {baseStages * 2 + 5 * i, 0xffff, 8}});
+        }
+        sources.push_back({"fd_pyrdown", "blur", {2, 10, 0xffff, 16}});
+        sources.push_back({"fd_integral", "stream",
+                           {32, 0xffff, 16}});
+        sources.push_back({"fd_norm", "lut", {8, 0xff, 0xffff, 16}});
+        Program prog = rt.createProgramWithSource(s.ctx, sources);
+        rt.buildProgram(prog);
+
+        std::vector<Kernel> cascades;
+        for (int i = 0; i < numCascades; ++i)
+            cascades.push_back(rt.createKernel(
+                prog, "fd_cascade" + std::to_string(i)));
+        Kernel pyrdown = rt.createKernel(prog, "fd_pyrdown");
+        Kernel integral = rt.createKernel(prog, "fd_integral");
+        Kernel norm = rt.createKernel(prog, "fd_norm");
+
+        Mem image = makeBuffer(s, 1 << 16);
+        Mem pyramid = makeBuffer(s, 1 << 16);
+        Mem hits = makeBuffer(s, 1 << 14);
+        Mem lut = makeBuffer(s, 1 << 8);
+
+        for (int f = 0; f < frames; ++f) {
+            rt.setKernelArg(integral, 0, image);
+            rt.setKernelArg(integral, 1, pyramid);
+            rt.setKernelArg(integral, 2, 0x3f800000u);
+            rt.setKernelArg(integral, 3,
+                            (uint32_t)((f / 40) * 9 + f * 512));
+            rt.enqueueNDRangeKernel(s.queue, integral, 524288, 16);
+            rt.setKernelArg(norm, 0, pyramid);
+            rt.setKernelArg(norm, 1, lut);
+            rt.setKernelArg(norm, 2, pyramid);
+            rt.setKernelArg(norm, 3, (uint32_t)(f * 128));
+            rt.enqueueNDRangeKernel(s.queue, norm, 524288, 16);
+            // Pyramid levels: smaller windows as we descend.
+            uint64_t gws = 16384;
+            for (int level = 0; level < 4; ++level) {
+                rt.setKernelArg(pyrdown, 0, pyramid);
+                rt.setKernelArg(pyrdown, 1, pyramid);
+                rt.setKernelArg(pyrdown, 2, 0x3e000000u);
+                rt.setKernelArg(pyrdown, 3,
+                                (uint32_t)(level * 2 + f * 1024));
+                rt.enqueueNDRangeKernel(s.queue, pyrdown, gws, 16);
+                Kernel k = cascades[(f + level) % numCascades];
+                rt.setKernelArg(k, 0, pyramid);
+                rt.setKernelArg(k, 1, hits);
+                rt.setKernelArg(k, 2, (uint32_t)level);
+                rt.setKernelArg(k, 3, (uint32_t)f);
+                rt.enqueueNDRangeKernel(s.queue, k, gws, 8);
+                gws /= 2;
+            }
+            rt.finish(s.queue);
+            if (f % 24 == 23)
+                rt.enqueueReadBuffer(s.queue, hits, 0, 2048);
+        }
+        rt.releaseMemObject(image);
+        rt.releaseMemObject(pyramid);
+        rt.releaseMemObject(hits);
+        rt.releaseMemObject(lut);
+        end(s);
+    }
+
+  private:
+    int numCascades;
+    int frames;
+    int baseStages;
+};
+
+/** TV-L1 optical flow: warp/update iterations between frame pairs. */
+class TvL1Flow : public AppBase
+{
+  public:
+    TvL1Flow()
+        : AppBase("cb-vision-tv-l1-of", "CompuBench CL 1.2 Desktop",
+                  "vision")
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        std::vector<KernelSource> sources;
+        for (int i = 0; i < 4; ++i) {
+            sources.push_back({"of_update" + std::to_string(i),
+                               "flow", {6 + 2 * i, 0xffff, 16}});
+        }
+        sources.push_back({"of_smooth0", "blur", {2, 8, 0xffff, 16}});
+        sources.push_back({"of_smooth1", "blur", {3, 6, 0xffff, 8}});
+        sources.push_back({"of_warp", "stream", {24, 0xffff, 16}});
+        sources.push_back({"of_residual", "reduce",
+                           {64, 0xffff, 16}});
+        Program prog = rt.createProgramWithSource(s.ctx, sources);
+        rt.buildProgram(prog);
+
+        std::vector<Kernel> update;
+        for (int i = 0; i < 4; ++i)
+            update.push_back(rt.createKernel(
+                prog, "of_update" + std::to_string(i)));
+        Kernel smooth0 = rt.createKernel(prog, "of_smooth0");
+        Kernel smooth1 = rt.createKernel(prog, "of_smooth1");
+        Kernel warp = rt.createKernel(prog, "of_warp");
+        Kernel residual = rt.createKernel(prog, "of_residual");
+
+        Mem prev = makeBuffer(s, 1 << 16);
+        Mem next = makeBuffer(s, 1 << 16);
+        Mem field = makeBuffer(s, 1 << 16);
+
+        const int frames = 240;
+        for (int f = 0; f < frames; ++f) {
+            for (int iter = 0; iter < 3; ++iter) {
+                rt.setKernelArg(warp, 0, prev);
+                rt.setKernelArg(warp, 1, field);
+                rt.setKernelArg(warp, 2, 0x3f000000u);
+                rt.setKernelArg(
+                    warp, 3, (uint32_t)(iter * 4 + f * 2048));
+                rt.enqueueNDRangeKernel(s.queue, warp, 524288, 16);
+                Kernel k = update[(f + iter) % 4];
+                rt.setKernelArg(k, 0, prev);
+                rt.setKernelArg(k, 1, next);
+                rt.setKernelArg(k, 2, field);
+                rt.enqueueNDRangeKernel(s.queue, k, 524288, 16);
+                Kernel sm = iter % 2 ? smooth1 : smooth0;
+                rt.setKernelArg(sm, 0, field);
+                rt.setKernelArg(sm, 1, field);
+                rt.setKernelArg(sm, 2, 0x3e4ccccdu);
+                rt.setKernelArg(
+                    sm, 3, (uint32_t)((f / 30) * 3 + f * 64));
+                rt.enqueueNDRangeKernel(s.queue, sm, 524288,
+                                        iter % 2 ? 8 : 16);
+            }
+            rt.setKernelArg(residual, 0, field);
+            rt.setKernelArg(residual, 1, next);
+            rt.enqueueNDRangeKernel(s.queue, residual, 16384, 16);
+            rt.waitForEvents({});
+        }
+        rt.enqueueReadBuffer(s.queue, field, 0, 8192);
+        rt.releaseMemObject(prev);
+        rt.releaseMemObject(next);
+        rt.releaseMemObject(field);
+        end(s);
+    }
+};
+
+/** Particle simulation (64K particles, desktop variant). */
+class PartSim64k : public AppBase
+{
+  public:
+    PartSim64k()
+        : AppBase("cb-physics-part-sim-64k",
+                  "CompuBench CL 1.2 Desktop", "physics")
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        Program prog = rt.createProgramWithSource(
+            s.ctx, {{"ps_forces", "nbody", {80, 0xffff, 8}},
+                    {"ps_integrate", "particle", {20, 0xffff, 8}},
+                    {"ps_collide", "stream", {32, 0xffff, 16}}});
+        rt.buildProgram(prog);
+        Kernel forces = rt.createKernel(prog, "ps_forces");
+        Kernel integrate = rt.createKernel(prog, "ps_integrate");
+        Kernel collide = rt.createKernel(prog, "ps_collide");
+
+        Mem pos = makeBuffer(s, 1 << 16);
+        Mem vel = makeBuffer(s, 1 << 16);
+
+        const int steps = 840;
+        for (int t = 0; t < steps; ++t) {
+            rt.setKernelArg(forces, 0, pos);
+            rt.setKernelArg(forces, 1, vel);
+            rt.setKernelArg(forces, 2, 0x3a83126fu);
+            rt.enqueueNDRangeKernel(s.queue, forces, 524288, 8);
+            rt.setKernelArg(integrate, 0, pos);
+            rt.setKernelArg(integrate, 1, vel);
+            rt.setKernelArg(integrate, 2, 0x3a83126fu);
+            rt.enqueueNDRangeKernel(s.queue, integrate, 524288, 8);
+            if (t % 4 == 3) {
+                rt.setKernelArg(collide, 0, pos);
+                rt.setKernelArg(collide, 1, vel);
+                rt.setKernelArg(collide, 2, 0x3f800000u);
+                rt.setKernelArg(collide, 3, (uint32_t)t);
+                rt.enqueueNDRangeKernel(s.queue, collide, 524288, 16);
+            }
+            if (t % 8 == 7)
+                rt.finish(s.queue);
+        }
+        rt.enqueueReadBuffer(s.queue, pos, 0, 4096);
+        rt.releaseMemObject(pos);
+        rt.releaseMemObject(vel);
+        end(s);
+    }
+};
+
+/** Provence scene render (mobile graphics). */
+class Provence : public AppBase
+{
+  public:
+    Provence()
+        : AppBase("cb-graphics-provence",
+                  "CompuBench CL 1.2 Mobile", "graphics")
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        std::vector<KernelSource> sources;
+        for (int i = 0; i < 10; ++i) {
+            sources.push_back({"prov_shade" + std::to_string(i),
+                               "shader",
+                               {6 + i, 0xffff, i % 3 ? 16 : 8}});
+        }
+        for (int i = 0; i < 3; ++i) {
+            sources.push_back({"prov_tone" + std::to_string(i), "lut",
+                               {10 + 2 * i, 0xff, 0xffff, 16}});
+        }
+        for (int i = 0; i < 3; ++i) {
+            sources.push_back({"prov_mix" + std::to_string(i),
+                               "blend", {8 + 4 * i, 0xffff, 16}});
+        }
+        sources.push_back({"prov_cull0", "deep",
+                           {340, (int64_t)0x12345u, 0xffff, 8}});
+        sources.push_back({"prov_cull1", "deep",
+                           {520, (int64_t)0xabcdeu, 0xffff, 8}});
+        Program prog = rt.createProgramWithSource(s.ctx, sources);
+        rt.buildProgram(prog);
+
+        std::vector<Kernel> shade, tone, mix, cull;
+        for (int i = 0; i < 10; ++i)
+            shade.push_back(rt.createKernel(
+                prog, "prov_shade" + std::to_string(i)));
+        for (int i = 0; i < 3; ++i)
+            tone.push_back(rt.createKernel(
+                prog, "prov_tone" + std::to_string(i)));
+        for (int i = 0; i < 3; ++i)
+            mix.push_back(rt.createKernel(
+                prog, "prov_mix" + std::to_string(i)));
+        cull.push_back(rt.createKernel(prog, "prov_cull0"));
+        cull.push_back(rt.createKernel(prog, "prov_cull1"));
+
+        Mem gbuf = makeBuffer(s, 1 << 16);
+        Mem fb = makeBuffer(s, 1 << 16);
+        Mem lut = makeBuffer(s, 1 << 8);
+
+        const int frames = 260;
+        for (int f = 0; f < frames; ++f) {
+            Kernel c = cull[f % 2];
+            rt.setKernelArg(c, 0, gbuf);
+            rt.setKernelArg(c, 1, fb);
+            rt.setKernelArg(c, 2, f < 65 ? 0x00ffu : 0x5aa5u);
+            rt.setKernelArg(c, 3, (uint32_t)f);
+            rt.enqueueNDRangeKernel(s.queue, c, 16384, 8);
+            int passes = f < 65 ? 6 : 8;
+            for (int i = 0; i < passes; ++i) {
+                Kernel k = shade[(f + i) % 10];
+                rt.setKernelArg(k, 0, gbuf);
+                rt.setKernelArg(k, 1, fb);
+                rt.setKernelArg(k, 2, 0x3f19999au);
+                rt.enqueueNDRangeKernel(s.queue, k, 262144,
+                                        i % 3 ? 16 : 8);
+            }
+            for (int i = 0; i < 2; ++i) {
+                Kernel k = tone[(f + i) % 3];
+                rt.setKernelArg(k, 0, fb);
+                rt.setKernelArg(k, 1, lut);
+                rt.setKernelArg(k, 2, fb);
+                rt.setKernelArg(k, 3,
+                                (uint32_t)((f / 65) * 5 + f * 32));
+                rt.enqueueNDRangeKernel(s.queue, k, 262144, 16);
+            }
+            Kernel m = mix[f % 3];
+            rt.setKernelArg(m, 0, fb);
+            rt.setKernelArg(m, 1, gbuf);
+            rt.setKernelArg(m, 2, fb);
+            rt.setKernelArg(m, 3, 0x3f000000u);
+            rt.enqueueNDRangeKernel(s.queue, m, 262144, 16);
+            rt.finish(s.queue);
+        }
+        rt.enqueueReadBuffer(s.queue, fb, 0, 4096);
+        rt.releaseMemObject(gbuf);
+        rt.releaseMemObject(fb);
+        rt.releaseMemObject(lut);
+        end(s);
+    }
+};
+
+/** Separable gaussian filter on buffers (or images). */
+class Gaussian : public AppBase
+{
+  public:
+    Gaussian(std::string name, bool use_image, int frames)
+        : AppBase(std::move(name), "CompuBench CL 1.2 Mobile",
+                  "image processing"),
+          useImage(use_image), frames(frames)
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        Program prog = rt.createProgramWithSource(
+            s.ctx,
+            {{"gauss_h", "blur", {4, 12, 0xffff, 16}},
+             {"gauss_v", "blur", {4, 12, 0xffff, 16}},
+             {"gauss_pack", "stream", {16, 0xffff, 8}}});
+        rt.buildProgram(prog);
+        Kernel h = rt.createKernel(prog, "gauss_h");
+        Kernel v = rt.createKernel(prog, "gauss_v");
+        Kernel pack = rt.createKernel(prog, "gauss_pack");
+
+        Mem src = makeBuffer(s, 1 << 16);
+        Mem tmp = makeBuffer(s, 1 << 16);
+        ocl::Mem image;
+        if (useImage)
+            image = s.rt.createImage2D(s.ctx, 256, 256, 4);
+
+        for (int f = 0; f < frames; ++f) {
+            rt.setKernelArg(h, 0, src);
+            rt.setKernelArg(h, 1, tmp);
+            rt.setKernelArg(h, 2, 0x3df5c28fu);
+            rt.setKernelArg(h, 3, (uint32_t)((f / 32) * 3));
+            rt.enqueueNDRangeKernel(s.queue, h, 262144, 16);
+            rt.setKernelArg(v, 0, tmp);
+            rt.setKernelArg(v, 1, src);
+            rt.setKernelArg(v, 2, 0x3df5c28fu);
+            rt.setKernelArg(v, 3, (uint32_t)((f / 32) * 3));
+            rt.enqueueNDRangeKernel(s.queue, v, 262144, 16);
+            if (f % 4 == 3) {
+                rt.setKernelArg(pack, 0, src);
+                rt.setKernelArg(pack, 1, tmp);
+                rt.setKernelArg(pack, 2, 0x3f800000u);
+                rt.setKernelArg(pack, 3, (uint32_t)f);
+                rt.enqueueNDRangeKernel(s.queue, pack, 524288, 8);
+            }
+            if (useImage && f % 8 == 7)
+                rt.enqueueCopyImageToBuffer(s.queue, image, src);
+            else
+                rt.finish(s.queue);
+        }
+        if (useImage)
+            rt.enqueueReadImage(s.queue, image);
+        else
+            rt.enqueueReadBuffer(s.queue, src, 0, 8192);
+        rt.releaseMemObject(src);
+        rt.releaseMemObject(tmp);
+        if (useImage)
+            rt.releaseMemObject(image);
+        end(s);
+    }
+
+  private:
+    bool useImage;
+    int frames;
+};
+
+/** 256-bin histogramming over buffers or images. */
+class HistogramApp : public AppBase
+{
+  public:
+    HistogramApp(std::string name, bool use_image, int frames)
+        : AppBase(std::move(name), "CompuBench CL 1.2 Mobile",
+                  "image processing"),
+          useImage(use_image), frames(frames)
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        Program prog = rt.createProgramWithSource(
+            s.ctx,
+            {{"hist_count", "histogram", {96, 24, 0xffff, 16}},
+             {"hist_count_fine", "histogram", {48, 22, 0xffff, 8}},
+             {"hist_merge", "reduce", {32, 0xffff, 16}},
+             {"hist_equalize", "lut", {12, 0xff, 0xffff, 16}}});
+        rt.buildProgram(prog);
+        Kernel count = rt.createKernel(prog, "hist_count");
+        Kernel fine = rt.createKernel(prog, "hist_count_fine");
+        Kernel merge = rt.createKernel(prog, "hist_merge");
+        Kernel equalize = rt.createKernel(prog, "hist_equalize");
+
+        Mem pixels = makeBuffer(s, 1 << 16);
+        Mem hist = makeBuffer(s, 1 << 10);
+        Mem out = makeBuffer(s, 1 << 16);
+        ocl::Mem image;
+        if (useImage)
+            image = s.rt.createImage2D(s.ctx, 512, 128, 4);
+
+        for (int f = 0; f < frames; ++f) {
+            // Alternating coarse/fine passes form two phases.
+            Kernel k = (f / 24) % 2 ? fine : count;
+            rt.setKernelArg(k, 0, pixels);
+            rt.setKernelArg(k, 1, hist);
+            rt.enqueueNDRangeKernel(s.queue, k, 524288,
+                                    (f / 24) % 2 ? 8 : 16);
+            rt.setKernelArg(merge, 0, hist);
+            rt.setKernelArg(merge, 1, hist);
+            rt.enqueueNDRangeKernel(s.queue, merge, 4096, 16);
+            rt.setKernelArg(equalize, 0, pixels);
+            rt.setKernelArg(equalize, 1, hist);
+            rt.setKernelArg(equalize, 2, out);
+            rt.setKernelArg(equalize, 3,
+                            (uint32_t)((f / 24) * 2 + f * 16));
+            rt.enqueueNDRangeKernel(s.queue, equalize, 524288, 16);
+            if (useImage && f % 6 == 5)
+                rt.enqueueCopyImageToBuffer(s.queue, image, pixels);
+            rt.finish(s.queue);
+        }
+        rt.enqueueReadBuffer(s.queue, hist, 0, 1024);
+        rt.releaseMemObject(pixels);
+        rt.releaseMemObject(hist);
+        rt.releaseMemObject(out);
+        if (useImage)
+            rt.releaseMemObject(image);
+        end(s);
+    }
+
+  private:
+    bool useImage;
+    int frames;
+};
+
+/**
+ * Particle simulation, 32K mobile variant. The paper reports 76.5%
+ * of its API calls are kernel invocations — arguments are set once
+ * and the integration kernel is re-enqueued relentlessly.
+ */
+class PartSim32k : public AppBase
+{
+  public:
+    PartSim32k()
+        : AppBase("cb-physics-part-sim-32k",
+                  "CompuBench CL 1.2 Mobile", "physics")
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        Program prog = rt.createProgramWithSource(
+            s.ctx, {{"ps32_step", "particle", {16, 0xffff, 8}},
+                    {"ps32_sort", "stream", {24, 0xffff, 16}}});
+        rt.buildProgram(prog);
+        Kernel step = rt.createKernel(prog, "ps32_step");
+        Kernel sort = rt.createKernel(prog, "ps32_sort");
+
+        Mem pos = makeBuffer(s, 1 << 15);
+        Mem vel = makeBuffer(s, 1 << 15);
+
+        rt.setKernelArg(step, 0, pos);
+        rt.setKernelArg(step, 1, vel);
+        rt.setKernelArg(step, 2, 0x3a83126fu);
+        rt.setKernelArg(sort, 0, pos);
+        rt.setKernelArg(sort, 1, vel);
+        rt.setKernelArg(sort, 2, 0x3f800000u);
+        rt.setKernelArg(sort, 3, 0u);
+
+        const int steps = 4200;
+        for (int t = 0; t < steps; ++t) {
+            rt.enqueueNDRangeKernel(s.queue, step, 262144, 8);
+            if (t % 8 == 7)
+                rt.enqueueNDRangeKernel(s.queue, sort, 262144, 16);
+            if (t % 16 == 15)
+                rt.finish(s.queue);
+        }
+        rt.enqueueReadBuffer(s.queue, pos, 0, 4096);
+        rt.releaseMemObject(pos);
+        rt.releaseMemObject(vel);
+        end(s);
+    }
+};
+
+/** Ambient-occlusion raycasting throughput benchmark. */
+class ThroughputAo : public AppBase
+{
+  public:
+    ThroughputAo()
+        : AppBase("cb-throughput-ao", "CompuBench CL 1.2 Mobile",
+                  "throughput")
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        Program prog = rt.createProgramWithSource(
+            s.ctx, {{"ao_primary", "ao", {40, 0xffff, 16}},
+                    {"ao_secondary", "ao", {16, 0xffff, 8}},
+                    {"ao_resolve", "reduce", {48, 0xffff, 16}}});
+        rt.buildProgram(prog);
+        Kernel primary = rt.createKernel(prog, "ao_primary");
+        Kernel secondary = rt.createKernel(prog, "ao_secondary");
+        Kernel resolve = rt.createKernel(prog, "ao_resolve");
+
+        Mem scene = makeBuffer(s, 1 << 16);
+        Mem occl = makeBuffer(s, 1 << 16);
+
+        const int tiles = 520;
+        for (int t = 0; t < tiles; ++t) {
+            uint32_t quality = (uint32_t)((t / 80) * 5);
+            rt.setKernelArg(primary, 0, scene);
+            rt.setKernelArg(primary, 1, occl);
+            rt.setKernelArg(primary, 2, quality);
+            rt.setKernelArg(primary, 3, (uint32_t)t);
+            rt.enqueueNDRangeKernel(s.queue, primary, 524288, 16);
+            rt.setKernelArg(secondary, 0, scene);
+            rt.setKernelArg(secondary, 1, occl);
+            rt.setKernelArg(secondary, 2, quality / 2);
+            rt.setKernelArg(secondary, 3, (uint32_t)t);
+            rt.enqueueNDRangeKernel(s.queue, secondary, 262144, 8);
+            rt.setKernelArg(resolve, 0, occl);
+            rt.setKernelArg(resolve, 1, scene);
+            rt.enqueueNDRangeKernel(s.queue, resolve, 8192, 16);
+            if (t % 2 == 1)
+                rt.finish(s.queue);
+        }
+        rt.enqueueReadBuffer(s.queue, occl, 0, 8192);
+        rt.releaseMemObject(scene);
+        rt.releaseMemObject(occl);
+        end(s);
+    }
+};
+
+/**
+ * Julia-set fractal rendering: the fewest API calls of any program
+ * (the paper counts 703 total) with the highest synchronization
+ * share (25.7%) — every frame is computed, flushed, and read back.
+ */
+class JuliaSet : public AppBase
+{
+  public:
+    JuliaSet()
+        : AppBase("cb-throughput-juliaset",
+                  "CompuBench CL 1.2 Mobile", "throughput")
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        Program prog = rt.createProgramWithSource(
+            s.ctx, {{"julia_render", "julia", {160, 16}},
+                    {"julia_aa", "julia", {48, 8}}});
+        rt.buildProgram(prog);
+        Kernel render = rt.createKernel(prog, "julia_render");
+        Kernel aa = rt.createKernel(prog, "julia_aa");
+
+        Mem fb = makeBuffer(s, 1 << 16);
+
+        const int frames = 88;
+        for (int f = 0; f < frames; ++f) {
+            Kernel k = f % 4 == 3 ? aa : render;
+            rt.setKernelArg(k, 0, fb);
+            rt.setKernelArg(k, 1, 0x3ec00000u + (uint32_t)f * 16);
+            rt.setKernelArg(k, 2, 0x3e4ccccdu);
+            rt.enqueueNDRangeKernel(s.queue, k, 1 << 20, 16);
+            rt.flush(s.queue);
+            rt.enqueueReadBuffer(s.queue, fb, 0, 16384);
+        }
+        rt.releaseMemObject(fb);
+        end(s);
+    }
+};
+
+} // anonymous namespace
+
+std::vector<const Workload *>
+compubenchApps()
+{
+    static TRex trex;
+    static OceanSurf ocean;
+    static Bitcoin bitcoin;
+    static FaceDetect facedetect_desktop(
+        "cb-vision-facedetect", "CompuBench CL 1.2 Desktop", 6, 300,
+        14);
+    static TvL1Flow tvl1;
+    static PartSim64k part64k;
+    static Provence provence;
+    static Gaussian gauss_buffer("cb-gaussian-buffer", false, 300);
+    static Gaussian gauss_image("cb-gaussian-image", true, 26);
+    static HistogramApp hist_buffer("cb-histogram-buffer", false,
+                                    380);
+    static HistogramApp hist_image("cb-histogram-image", true, 340);
+    static PartSim32k part32k;
+    static ThroughputAo ao;
+    static JuliaSet julia;
+    static FaceDetect facedetect_mobile(
+        "cb-vision-facedetect-mobile", "CompuBench CL 1.2 Mobile", 5,
+        420, 10);
+
+    return {
+        &trex,         &ocean,       &bitcoin,
+        &facedetect_desktop,         &tvl1,
+        &part64k,      &provence,    &gauss_buffer,
+        &gauss_image,  &hist_buffer, &hist_image,
+        &part32k,      &ao,          &julia,
+        &facedetect_mobile,
+    };
+}
+
+} // namespace gt::workloads

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The 3 SiSoftware Sandra 2014 applications: two cryptography
+ * benchmarks (the heaviest readers in the suite — the paper measures
+ * 624 GB and 2174 GB read) and the "Processor GPU" stress benchmark,
+ * whose instruction stream is 91% computation.
+ */
+
+#include "workloads/apps.hh"
+
+namespace gt::workloads
+{
+
+using isa::KernelSource;
+using ocl::ClRuntime;
+using ocl::Kernel;
+using ocl::Mem;
+using ocl::Program;
+
+namespace
+{
+
+/** AES encryption throughput (table-lookup heavy, read dominated). */
+class CryptAes : public AppBase
+{
+  public:
+    CryptAes(std::string name, int rounds, int batches)
+        : AppBase(std::move(name), "SiSoftware Sandra 2014",
+                  "cryptography"),
+          rounds(rounds), batches(batches)
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        Program prog = rt.createProgramWithSource(
+            s.ctx,
+            {{"aes_encrypt", "aes", {rounds, 0x3ff, 16}},
+             {"aes_decrypt", "aes", {rounds, 0x3ff, 16}},
+             {"aes_expand_key", "hash", {rounds * 4, 8}},
+             {"aes_xts_tweak", "stream", {16, 0xffff, 16}}});
+        rt.buildProgram(prog);
+        Kernel encrypt = rt.createKernel(prog, "aes_encrypt");
+        Kernel decrypt = rt.createKernel(prog, "aes_decrypt");
+        Kernel expand = rt.createKernel(prog, "aes_expand_key");
+        Kernel tweak = rt.createKernel(prog, "aes_xts_tweak");
+
+        Mem plain = makeBuffer(s, 1 << 17);
+        Mem cipher = makeBuffer(s, 1 << 17);
+        Mem tables = makeBuffer(s, 1 << 11);
+        Mem keys = makeBuffer(s, 1 << 12);
+
+        for (int b = 0; b < batches; ++b) {
+            if (b % 32 == 0) {
+                rt.setKernelArg(expand, 0, keys);
+                rt.setKernelArg(expand, 1, keys);
+                rt.setKernelArg(expand, 2, (uint32_t)b);
+                rt.enqueueNDRangeKernel(s.queue, expand, 4096, 8);
+            }
+            rt.setKernelArg(tweak, 0, plain);
+            rt.setKernelArg(tweak, 1, cipher);
+            rt.setKernelArg(tweak, 2, 0x3f800000u);
+            rt.setKernelArg(tweak, 3, (uint32_t)b);
+            rt.enqueueNDRangeKernel(s.queue, tweak, 65536, 16);
+            Kernel k = b % 2 ? decrypt : encrypt;
+            rt.setKernelArg(k, 0, plain);
+            rt.setKernelArg(k, 1, tables);
+            rt.setKernelArg(k, 2, cipher);
+            rt.enqueueNDRangeKernel(s.queue, k, 262144, 16);
+            if (b % 8 == 7)
+                rt.finish(s.queue);
+            if (b % 64 == 63)
+                rt.enqueueReadBuffer(s.queue, cipher, 0, 16384);
+        }
+        rt.releaseMemObject(plain);
+        rt.releaseMemObject(cipher);
+        rt.releaseMemObject(tables);
+        rt.releaseMemObject(keys);
+        end(s);
+    }
+
+  private:
+    int rounds;
+    int batches;
+};
+
+/**
+ * Processor GPU performance stress test — long FMA chains designed
+ * to saturate the EUs (the paper measures 91% computation
+ * instructions for this application).
+ */
+class ProcGpu : public AppBase
+{
+  public:
+    ProcGpu()
+        : AppBase("sandra-proc-gpu", "SiSoftware Sandra 2014",
+                  "gpu performance")
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        Program prog = rt.createProgramWithSource(
+            s.ctx,
+            {{"proc_fma32", "stress", {96, 32, 16}},
+             {"proc_fma64", "stress", {64, 48, 16}},
+             {"proc_fma_short", "stress", {48, 24, 8}},
+             {"proc_mandel", "julia", {200, 16}},
+             {"proc_mandel_aa", "julia", {100, 8}},
+             {"proc_bandwidth", "stream", {64, 0xffff, 16}}});
+        rt.buildProgram(prog);
+        Kernel fma32 = rt.createKernel(prog, "proc_fma32");
+        Kernel fma64 = rt.createKernel(prog, "proc_fma64");
+        Kernel fma_short = rt.createKernel(prog, "proc_fma_short");
+        Kernel mandel = rt.createKernel(prog, "proc_mandel");
+        Kernel mandel_aa = rt.createKernel(prog, "proc_mandel_aa");
+        Kernel bandwidth = rt.createKernel(prog, "proc_bandwidth");
+
+        Mem scratch = makeBuffer(s, 1 << 16);
+        Mem out = makeBuffer(s, 1 << 16);
+
+        const int passes = 700;
+        for (int p = 0; p < passes; ++p) {
+            Kernel fma = p % 3 == 0 ? fma32
+                       : (p % 3 == 1 ? fma64 : fma_short);
+            rt.setKernelArg(fma, 0, scratch);
+            rt.enqueueNDRangeKernel(s.queue, fma, 524288,
+                                    p % 3 == 2 ? 8 : 16);
+            Kernel m = p % 5 == 4 ? mandel_aa : mandel;
+            rt.setKernelArg(m, 0, out);
+            rt.setKernelArg(m, 1, 0x3e99999au);
+            rt.setKernelArg(m, 2, 0x3dcccccdu);
+            rt.enqueueNDRangeKernel(s.queue, m, 524288, 16);
+            if (p % 24 == 23) {
+                rt.setKernelArg(bandwidth, 0, scratch);
+                rt.setKernelArg(bandwidth, 1, out);
+                rt.setKernelArg(bandwidth, 2, 0x3f800000u);
+                rt.setKernelArg(bandwidth, 3, (uint32_t)p);
+                rt.enqueueNDRangeKernel(s.queue, bandwidth, 524288,
+                                        16);
+            }
+            if (p % 6 == 5)
+                rt.finish(s.queue);
+        }
+        rt.enqueueReadBuffer(s.queue, out, 0, 8192);
+        rt.releaseMemObject(scratch);
+        rt.releaseMemObject(out);
+        end(s);
+    }
+};
+
+} // anonymous namespace
+
+std::vector<const Workload *>
+sandraApps()
+{
+    static CryptAes aes128("sandra-crypt-aes128", 10, 820);
+    static CryptAes aes256("sandra-crypt-aes256", 14, 1000);
+    static ProcGpu proc;
+    return {&aes128, &aes256, &proc};
+}
+
+} // namespace gt::workloads

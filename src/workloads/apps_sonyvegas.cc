@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The 7 Sony Vegas Pro 2013 press-project regions. Each region
+ * renders a different span of the same video project, demonstrating
+ * different effect stacks (crossfades, gaussian blurs, color
+ * grading, title compositing). They are the suite's heavy writers:
+ * the paper measures write volumes up to 525x the read volume for
+ * region 5.
+ */
+
+#include "workloads/apps.hh"
+
+namespace gt::workloads
+{
+
+using isa::KernelSource;
+using ocl::ClRuntime;
+using ocl::Kernel;
+using ocl::Mem;
+using ocl::Program;
+
+namespace
+{
+
+/**
+ * One render region of the press project. Regions share the video
+ * pipeline (decode-like read, effect stack, encode-like writes) but
+ * differ in length, effect mix, and write amplification.
+ */
+class VegasRegion : public AppBase
+{
+  public:
+    VegasRegion(int region, int frames, int writes_per_read,
+                int blur_radius, bool title_overlay, int sync_period)
+        : AppBase("sonyvegas-proj-r" + std::to_string(region),
+                  "Sony Vegas Pro 2013", "video rendering"),
+          frames(frames), writesPerRead(writes_per_read),
+          blurRadius(blur_radius), titleOverlay(title_overlay),
+          syncPeriod(sync_period)
+    {}
+
+    void
+    run(ClRuntime &rt) const override
+    {
+        Session s = begin(rt);
+        std::vector<KernelSource> sources = {
+            {"veg_decode", "stream", {24, 0xffff, 16}},
+            {"veg_scale", "effect", {8, writesPerRead, 0xffff, 16}},
+            {"veg_grade", "lut", {10, 0xff, 0xffff, 16}},
+            {"veg_crossfade", "blend", {12, 0xffff, 16}},
+            {"veg_blur_h", "blur", {blurRadius, 6, 0xffff, 16}},
+            {"veg_blur_v", "blur", {blurRadius, 6, 0xffff, 16}},
+            {"veg_encode", "effect",
+             {6, writesPerRead * 2, 0xffff, 8}},
+        };
+        sources.push_back({"veg_fx_chain", "deep",
+                           {160 + 40 * (frames % 7),
+                            (int64_t)(0x7531u + frames), 0xffff,
+                            8}});
+        if (titleOverlay) {
+            sources.push_back({"veg_title", "shader",
+                               {10, 0xffff, 16}});
+            sources.push_back({"veg_alpha", "blend",
+                               {8, 0xffff, 8}});
+        }
+        Program prog = rt.createProgramWithSource(s.ctx, sources);
+        rt.buildProgram(prog);
+
+        Kernel decode = rt.createKernel(prog, "veg_decode");
+        Kernel scale = rt.createKernel(prog, "veg_scale");
+        Kernel grade = rt.createKernel(prog, "veg_grade");
+        Kernel crossfade = rt.createKernel(prog, "veg_crossfade");
+        Kernel blur_h = rt.createKernel(prog, "veg_blur_h");
+        Kernel blur_v = rt.createKernel(prog, "veg_blur_v");
+        Kernel encode = rt.createKernel(prog, "veg_encode");
+        Kernel fx_chain = rt.createKernel(prog, "veg_fx_chain");
+        Kernel title{}, alpha{};
+        if (titleOverlay) {
+            title = rt.createKernel(prog, "veg_title");
+            alpha = rt.createKernel(prog, "veg_alpha");
+        }
+
+        Mem frame_a = makeBuffer(s, 1 << 16);
+        Mem frame_b = makeBuffer(s, 1 << 16);
+        Mem work = makeBuffer(s, 1 << 16);
+        Mem lut = makeBuffer(s, 1 << 8);
+        Mem out = makeBuffer(s, 1 << 16);
+
+        for (int f = 0; f < frames; ++f) {
+            int segment = (f / 16) % 3;
+            rt.setKernelArg(decode, 0, frame_a);
+            rt.setKernelArg(decode, 1, work);
+            rt.setKernelArg(decode, 2, 0x3f800000u);
+            rt.setKernelArg(decode, 3,
+                            (uint32_t)(segment * 4 + f * 8192));
+            rt.enqueueNDRangeKernel(s.queue, decode, 262144, 16);
+
+            rt.setKernelArg(scale, 0, work);
+            rt.setKernelArg(scale, 1, out);
+            rt.setKernelArg(scale, 2, (uint32_t)(segment * 2));
+            rt.setKernelArg(scale, 3, (uint32_t)f);
+            rt.enqueueNDRangeKernel(s.queue, scale, 262144, 16);
+
+            rt.setKernelArg(grade, 0, out);
+            rt.setKernelArg(grade, 1, lut);
+            rt.setKernelArg(grade, 2, work);
+            rt.setKernelArg(grade, 3,
+                            (uint32_t)(segment * 3 + f * 1024));
+            rt.enqueueNDRangeKernel(s.queue, grade, 262144, 16);
+
+            // Crossfade segments happen in bursts mid-region.
+            if ((f / 16) % 3 == 1) {
+                rt.setKernelArg(crossfade, 0, frame_a);
+                rt.setKernelArg(crossfade, 1, frame_b);
+                rt.setKernelArg(crossfade, 2, work);
+                rt.setKernelArg(crossfade, 3,
+                                0x3c000000u + (uint32_t)(f % 16));
+                rt.enqueueNDRangeKernel(s.queue, crossfade, 262144,
+                                        16);
+            }
+            if (blurRadius > 0 && (f / 16) % 3 == 2) {
+                rt.setKernelArg(blur_h, 0, work);
+                rt.setKernelArg(blur_h, 1, frame_b);
+                rt.setKernelArg(blur_h, 2, 0x3df5c28fu);
+                rt.setKernelArg(blur_h, 3, (uint32_t)(f % 16));
+                rt.enqueueNDRangeKernel(s.queue, blur_h, 262144, 16);
+                rt.setKernelArg(blur_v, 0, frame_b);
+                rt.setKernelArg(blur_v, 1, work);
+                rt.setKernelArg(blur_v, 2, 0x3df5c28fu);
+                rt.setKernelArg(blur_v, 3, (uint32_t)(f % 16));
+                rt.enqueueNDRangeKernel(s.queue, blur_v, 262144, 16);
+            }
+            if (titleOverlay && f % 4 == 0) {
+                rt.setKernelArg(title, 0, lut);
+                rt.setKernelArg(title, 1, work);
+                rt.setKernelArg(title, 2, 0x3f400000u);
+                rt.enqueueNDRangeKernel(s.queue, title, 16384, 16);
+                rt.setKernelArg(alpha, 0, work);
+                rt.setKernelArg(alpha, 1, out);
+                rt.setKernelArg(alpha, 2, work);
+                rt.setKernelArg(alpha, 3, 0x3f000000u);
+                rt.enqueueNDRangeKernel(s.queue, alpha, 16384, 8);
+            }
+
+            if (f % 2 == 0) {
+                rt.setKernelArg(fx_chain, 0, work);
+                rt.setKernelArg(fx_chain, 1, out);
+                rt.setKernelArg(fx_chain, 2,
+                                (uint32_t)(0x1111u << segment));
+                rt.setKernelArg(fx_chain, 3, (uint32_t)f);
+                rt.enqueueNDRangeKernel(s.queue, fx_chain, 65536,
+                                        8);
+            }
+
+            rt.setKernelArg(encode, 0, work);
+            rt.setKernelArg(encode, 1, out);
+            rt.setKernelArg(encode, 2,
+                            (uint32_t)(segment == 1 ? 5 : 1));
+            rt.setKernelArg(encode, 3, (uint32_t)f);
+            rt.enqueueNDRangeKernel(s.queue, encode, 262144, 8);
+
+            if (f % syncPeriod == syncPeriod - 1)
+                rt.finish(s.queue);
+        }
+        rt.enqueueReadBuffer(s.queue, out, 0, 16384);
+        rt.releaseMemObject(frame_a);
+        rt.releaseMemObject(frame_b);
+        rt.releaseMemObject(work);
+        rt.releaseMemObject(lut);
+        rt.releaseMemObject(out);
+        end(s);
+    }
+
+  private:
+    int frames;
+    int writesPerRead;
+    int blurRadius;
+    bool titleOverlay;
+    int syncPeriod;
+};
+
+} // anonymous namespace
+
+std::vector<const Workload *>
+sonyVegasApps()
+{
+    // Region parameters: length, write amplification, blur radius,
+    // title overlay, sync period. Region 4 is the longest render;
+    // region 5 has the extreme write skew the paper calls out.
+    static VegasRegion r1(1, 600, 6, 2, false, 3);
+    static VegasRegion r2(2, 800, 8, 0, true, 3);
+    static VegasRegion r3(3, 1000, 10, 3, false, 2);
+    static VegasRegion r4(4, 2200, 8, 2, true, 8);
+    static VegasRegion r5(5, 1200, 40, 0, false, 3);
+    static VegasRegion r6(6, 900, 12, 4, true, 3);
+    static VegasRegion r7(7, 700, 16, 2, false, 2);
+    return {&r1, &r2, &r3, &r4, &r5, &r6, &r7};
+}
+
+} // namespace gt::workloads

@@ -1,0 +1,33 @@
+#include "workloads/apps.hh"
+#include "workloads/workload.hh"
+
+namespace gt::workloads
+{
+
+const std::vector<const Workload *> &
+workloadSuite()
+{
+    static const std::vector<const Workload *> suite = [] {
+        std::vector<const Workload *> all;
+        for (const Workload *w : compubenchApps())
+            all.push_back(w);
+        for (const Workload *w : sandraApps())
+            all.push_back(w);
+        for (const Workload *w : sonyVegasApps())
+            all.push_back(w);
+        return all;
+    }();
+    return suite;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload *w : workloadSuite()) {
+        if (w->info().name == name)
+            return w;
+    }
+    return nullptr;
+}
+
+} // namespace gt::workloads

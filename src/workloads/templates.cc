@@ -1,0 +1,1043 @@
+#include "workloads/templates.hh"
+
+#include "common/logging.hh"
+
+namespace gt::workloads
+{
+
+using isa::CmpOp;
+using isa::Flag;
+using isa::KernelBinary;
+using isa::KernelBuilder;
+using isa::Operand;
+using isa::Reg;
+using isa::fimm;
+using isa::imm;
+
+namespace
+{
+
+/** @return params[i], or @p def when absent. */
+int64_t
+param(const std::vector<int64_t> &p, size_t i, int64_t def)
+{
+    return i < p.size() ? p[i] : def;
+}
+
+/**
+ * Emit address computation dst = base + ((index & mask) << 2), the
+ * standard bounds-safe element addressing all templates use.
+ */
+Reg
+laneAddr(KernelBuilder &b, Reg base, Operand index, uint32_t mask,
+         int w)
+{
+    Reg a = b.reg();
+    b.and_(a, index, imm(mask), w);
+    b.shl(a, a, imm(2), w);
+    b.add(a, a, base, w);
+    return a;
+}
+
+/**
+ * stream: per-thread strided copy-and-scale loop.
+ * params: [trips, mask, width]   args: [src, dst, scale]
+ */
+KernelBinary
+tmplStream(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t trips = param(p, 0, 64);
+    auto mask = (uint32_t)param(p, 1, 0xffff);
+    int w = (int)param(p, 2, 16);
+    int64_t unroll = param(p, 3, 3);
+
+    KernelBuilder b(name, 4);
+    Reg idx = b.reg(), c = b.reg();
+    Reg i2 = b.reg(), v = b.reg(), v2 = b.reg(), out = b.reg();
+    Reg src_addr = b.reg(), dst_addr = b.reg();
+    b.mov(idx, b.globalIds(), w);
+    // The trip count combines the compile-time base with a runtime
+    // intensity argument, so the same binary does phase-dependent
+    // amounts of work.
+    Reg trips_r = b.reg();
+    b.and_(trips_r, b.arg(3), imm(15), 1);
+    b.add(trips_r, trips_r, imm((uint32_t)trips), 1);
+    b.beginLoop(c, trips_r);
+    for (int64_t k = 0; k < unroll; ++k) {
+        b.add(i2, idx, c, w);
+        b.add(i2, i2, imm((uint32_t)(k * 97)), w);
+        b.and_(src_addr, i2, imm(mask), w);
+        b.shl(src_addr, src_addr, imm(2), w);
+        b.add(src_addr, src_addr, b.arg(0), w);
+        b.load(v, src_addr, 4, w);
+        b.mov(v2, v, w);
+        b.fmad(v2, v2, b.arg(2), v, w);
+        b.mov(out, v2, w);
+        b.and_(dst_addr, i2, imm(mask), w);
+        b.shl(dst_addr, dst_addr, imm(2), w);
+        b.add(dst_addr, dst_addr, b.arg(1), w);
+        b.store(out, dst_addr, 4, w);
+    }
+    b.endLoop();
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * blur: 1D gaussian-style filter, radius taps per output element.
+ * params: [radius, trips, mask, width]   args: [src, dst, norm]
+ */
+KernelBinary
+tmplBlur(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t radius = param(p, 0, 3);
+    int64_t trips = param(p, 1, 16);
+    auto mask = (uint32_t)param(p, 2, 0xffff);
+    int w = (int)param(p, 3, 16);
+
+    KernelBuilder b(name, 4);
+    Reg c = b.reg();
+    Reg trips_r = b.reg();
+    b.and_(trips_r, b.arg(3), imm(7), 1);
+    b.add(trips_r, trips_r, imm((uint32_t)trips), 1);
+    b.beginLoop(c, trips_r);
+    {
+        Reg pos = b.reg();
+        b.mul(pos, c, imm(17), w);
+        b.add(pos, pos, b.globalIds(), w);
+        Reg acc = b.reg();
+        b.mov(acc, fimm(0.0f), w);
+        // Unrolled taps: each is a gather plus a weighted add.
+        for (int64_t t = -radius; t <= radius; ++t) {
+            Reg tp = b.reg();
+            b.add(tp, pos, imm((uint32_t)(int32_t)t), w);
+            Reg a = laneAddr(b, b.arg(0), tp, mask, w);
+            Reg v = b.reg();
+            b.load(v, a, 4, w);
+            b.fmad(acc, v, b.arg(2), acc, w);
+        }
+        Reg out_addr = laneAddr(b, b.arg(1), pos, mask, w);
+        b.store(acc, out_addr, 4, w);
+    }
+    b.endLoop();
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * histogram: bin computation with local-memory accumulation and a
+ * final flush.
+ * params: [trips, binShift, mask, width]   args: [src, hist]
+ */
+KernelBinary
+tmplHistogram(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t trips = param(p, 0, 64);
+    auto bin_shift = (uint32_t)param(p, 1, 24);
+    auto mask = (uint32_t)param(p, 2, 0xffff);
+    int w = (int)param(p, 3, 16);
+
+    KernelBuilder b(name, 2);
+    Reg c = b.reg();
+    b.beginLoop(c, imm((uint32_t)trips));
+    {
+        Reg i2 = b.reg();
+        b.mad(i2, c, imm(251), b.globalIds(), w);
+        Reg a = laneAddr(b, b.arg(0), i2, mask, w);
+        Reg v = b.reg();
+        b.load(v, a, 4, w);
+        Reg bin = b.reg();
+        b.shr(bin, v, imm(bin_shift), w);
+        b.shl(bin, bin, imm(2), w);
+        Reg cur = b.reg();
+        b.load(cur, bin, 4, w, 0, isa::AddrSpace::Local);
+        Reg inc = b.reg();
+        b.add(inc, cur, imm(1), w);
+        b.store(inc, bin, 4, w, 0, isa::AddrSpace::Local);
+    }
+    b.endLoop();
+    // Flush the local histogram to the global one.
+    Reg f = b.reg();
+    b.beginLoop(f, imm(16));
+    {
+        Reg la = b.reg();
+        b.shl(la, f, imm(2), 1);
+        Reg v = b.reg();
+        b.load(v, la, 4, 1, 0, isa::AddrSpace::Local);
+        Reg ga = laneAddr(b, b.arg(1), f, 0xff, 1);
+        b.store(v, ga, 4, 1);
+    }
+    b.endLoop();
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * hash: SHA-style compression rounds — logic-dominated, almost no
+ * memory traffic (throughput bitcoin).
+ * params: [rounds, width]   args: [in, out, nonceBase]
+ */
+KernelBinary
+tmplHash(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t rounds = param(p, 0, 64);
+    int w = (int)param(p, 1, 8);
+
+    KernelBuilder b(name, 3);
+    Reg s0 = b.reg(), s1 = b.reg(), s2 = b.reg(), s3 = b.reg();
+    Reg a0 = laneAddr(b, b.arg(0), b.globalIds(), 0xfff, w);
+    b.load(s0, a0, 4, w);
+    b.add(s1, b.globalIds(), b.arg(2), w);
+    b.mov(s2, imm(0x6a09e667), w);
+    b.mov(s3, imm(0xbb67ae85), w);
+    Reg c = b.reg();
+    Reg t0 = b.reg(), t1 = b.reg(), t2 = b.reg();
+    b.beginLoop(c, imm((uint32_t)rounds));
+    for (int k = 0; k < 3; ++k) {
+        b.shr(t0, s0, imm(7), w);
+        b.shl(t1, s0, imm(25), w);
+        b.or_(t0, t0, t1, w);
+        b.mov(t2, s1, w);
+        b.xor_(s1, t2, t0, w);
+        b.and_(t1, s1, s2, w);
+        b.not_(t0, s2, w);
+        b.and_(t0, t0, s3, w);
+        b.xor_(t0, t0, t1, w);
+        b.add(s2, s2, t0, w);
+        b.shr(t1, s2, imm(11), w);
+        b.xor_(s3, s3, t1, w);
+        b.mov(t2, s3, w);
+        b.add(s0, s0, t2, w);
+    }
+    b.endLoop();
+    Reg oa = laneAddr(b, b.arg(1), b.globalIds(), 0xfff, w);
+    b.store(s0, oa, 4, w);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * aes: table-lookup rounds — the read-heaviest template (Sandra
+ * crypto): four T-table gathers plus xors per round.
+ * params: [rounds, tblMask, width]   args: [in, tbl, out]
+ */
+KernelBinary
+tmplAes(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t rounds = param(p, 0, 10);
+    auto tbl_mask = (uint32_t)param(p, 1, 0x3ff);
+    int w = (int)param(p, 2, 16);
+
+    KernelBuilder b(name, 3);
+    Reg state = b.reg();
+    Reg ia = laneAddr(b, b.arg(0), b.globalIds(), 0xffff, w);
+    b.load(state, ia, 4, w);
+    Reg c = b.reg();
+    Reg acc = b.reg(), idx = b.reg(), ta = b.reg(), tv = b.reg();
+    b.beginLoop(c, imm((uint32_t)rounds));
+    for (int k = 0; k < 2; ++k) {
+        b.mov(acc, imm(0), w);
+        for (int t = 0; t < 4; ++t) {
+            b.shr(idx, state, imm((uint32_t)(8 * t)), w);
+            b.and_(idx, idx, imm(0xff), w);
+            b.add(idx, idx, imm((uint32_t)(t * 256)), w);
+            b.and_(ta, idx, imm(tbl_mask), w);
+            b.shl(ta, ta, imm(2), w);
+            b.add(ta, ta, b.arg(1), w);
+            b.load(tv, ta, 16, w);
+            b.xor_(acc, acc, tv, w);
+        }
+        b.mov(tv, acc, w);
+        b.xor_(state, tv, c, w);
+    }
+    b.endLoop();
+    Reg oa = laneAddr(b, b.arg(2), b.globalIds(), 0xffff, w);
+    b.store(state, oa, 4, w);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * nbody: O(bodies) force accumulation per thread with rsqrt — the
+ * physics-ocean/part-sim compute pattern.
+ * params: [bodies, mask, width]   args: [pos, vel, dt]
+ */
+KernelBinary
+tmplNbody(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t bodies = param(p, 0, 64);
+    auto mask = (uint32_t)param(p, 1, 0xffff);
+    int w = (int)param(p, 2, 8);
+
+    KernelBuilder b(name, 3);
+    Reg my_addr = laneAddr(b, b.arg(0), b.globalIds(), mask, w);
+    Reg my_pos = b.reg();
+    b.load(my_pos, my_addr, 4, w);
+    Reg force = b.reg();
+    b.mov(force, fimm(0.0f), w);
+    Reg c = b.reg();
+    Reg oa = b.reg(), other = b.reg(), d = b.reg(), d2 = b.reg();
+    Reg inv = b.reg(), inv3 = b.reg(), tmp = b.reg();
+    // Interaction count varies with the timestep argument's low
+    // bits (adaptive neighbour pruning).
+    Reg bodies_r = b.reg();
+    b.shr(bodies_r, b.arg(2), imm(2), 1);
+    b.and_(bodies_r, bodies_r, imm(15), 1);
+    b.add(bodies_r, bodies_r, imm((uint32_t)bodies), 1);
+    b.beginLoop(c, bodies_r);
+    for (int k = 0; k < 3; ++k) {
+        b.add(tmp, c, imm((uint32_t)(k * 63 + 1)), w);
+        b.and_(oa, tmp, imm(mask), w);
+        b.shl(oa, oa, imm(2), w);
+        b.add(oa, oa, b.arg(0), w);
+        b.load(other, oa, 4, w);
+        b.mov(tmp, other, w);
+        b.fadd(d, tmp, my_pos, w);
+        b.fmad(d2, d, d, fimm(0.01f), w);
+        b.rsqrt(inv, d2, w);
+        b.fmul(inv3, inv, inv, w);
+        b.fmul(inv3, inv3, inv, w);
+        b.fmad(force, d, inv3, force, w);
+    }
+    b.endLoop();
+    Reg va = laneAddr(b, b.arg(1), b.globalIds(), mask, w);
+    Reg vel = b.reg();
+    b.load(vel, va, 4, w);
+    b.fmad(vel, force, b.arg(2), vel, w);
+    b.store(vel, va, 4, w);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * julia: escape-time fractal iteration — compute-dominated with one
+ * store per thread (throughput juliaset).
+ * params: [iters, width]   args: [out, cr, ci]
+ */
+KernelBinary
+tmplJulia(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t iters = param(p, 0, 128);
+    int w = (int)param(p, 1, 16);
+
+    KernelBuilder b(name, 3);
+    Reg zr = b.reg(), zi = b.reg();
+    b.mov(zr, b.globalIds(), w);
+    b.mov(zi, b.arg(2), w);
+    Reg c = b.reg();
+    Reg r2 = b.reg(), i2 = b.reg(), ri = b.reg(), nr = b.reg();
+    Reg stage = b.reg();
+    // Convergence depends on the seed constant: iteration depth
+    // varies with the c-parameter argument's low mantissa bits.
+    Reg iters_r = b.reg();
+    b.shr(iters_r, b.arg(1), imm(4), 1);
+    b.and_(iters_r, iters_r, imm(7), 1);
+    b.add(iters_r, iters_r, imm((uint32_t)iters), 1);
+    b.beginLoop(c, iters_r);
+    for (int k = 0; k < 4; ++k) {
+        b.fmul(r2, zr, zr, w);
+        b.fmul(i2, zi, zi, w);
+        b.fmul(ri, zr, zi, w);
+        b.fadd(nr, r2, i2, w);
+        b.mov(stage, nr, w);
+        b.fmad(zr, stage, fimm(-1.0f), b.arg(1), w);
+        b.fmad(zi, ri, fimm(2.0f), b.arg(2), w);
+    }
+    b.endLoop();
+    Reg oa = laneAddr(b, b.arg(0), b.globalIds(), 0xffff, w);
+    b.store(zr, oa, 4, w);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * ao: ambient-occlusion ray sampling — mixed compute/gather with
+ * dp4 (one of the few SIMD-4 users).
+ * params: [samples, mask, width]   args: [scene, out]
+ */
+KernelBinary
+tmplAo(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t samples = param(p, 0, 32);
+    auto mask = (uint32_t)param(p, 1, 0xffff);
+    int w = (int)param(p, 2, 16);
+
+    KernelBuilder b(name, 4);
+    Reg occl = b.reg();
+    b.mov(occl, fimm(0.0f), w);
+    Reg c = b.reg();
+    // Sample count scales with the quality argument (arg 2); arg 3
+    // is an unread frame tag.
+    Reg samples_r = b.reg();
+    b.and_(samples_r, b.arg(2), imm(15), 1);
+    b.add(samples_r, samples_r, imm((uint32_t)samples), 1);
+    b.beginLoop(c, samples_r);
+    {
+        Reg dir = b.reg();
+        b.mad(dir, c, imm(97), b.globalIds(), w);
+        Reg sa = laneAddr(b, b.arg(0), dir, mask, w);
+        Reg tri = b.reg();
+        b.load(tri, sa, 4, w);
+        Reg d = b.reg();
+        b.dp4(d, tri, tri, 4);
+        Reg inv = b.reg();
+        b.rsqrt(inv, d, w);
+        Reg hit = b.reg();
+        b.fmul(hit, tri, inv, w);
+        b.max_(hit, hit, imm(0), w);
+        b.fadd(occl, occl, hit, w);
+    }
+    b.endLoop();
+    Reg oa = laneAddr(b, b.arg(1), b.globalIds(), mask, w);
+    b.store(occl, oa, 4, w);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * blend: two-source linear interpolation (crossfades).
+ * params: [trips, mask, width]   args: [a, b, out, alpha]
+ */
+KernelBinary
+tmplBlend(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t trips = param(p, 0, 16);
+    auto mask = (uint32_t)param(p, 1, 0xffff);
+    int w = (int)param(p, 2, 16);
+
+    KernelBuilder b(name, 4);
+    Reg c = b.reg();
+    Reg i2 = b.reg(), va = b.reg(), vb = b.reg(), mix = b.reg();
+    Reg aa = b.reg(), ab = b.reg(), oa = b.reg(), stage = b.reg();
+    b.beginLoop(c, imm((uint32_t)trips));
+    for (int k = 0; k < 3; ++k) {
+        b.mad(i2, c, imm(131), b.globalIds(), w);
+        b.add(i2, i2, imm((uint32_t)(k * 53)), w);
+        b.and_(aa, i2, imm(mask), w);
+        b.shl(aa, aa, imm(2), w);
+        b.add(aa, aa, b.arg(0), w);
+        b.load(va, aa, 4, w);
+        b.and_(ab, i2, imm(mask), w);
+        b.shl(ab, ab, imm(2), w);
+        b.add(ab, ab, b.arg(1), w);
+        b.load(vb, ab, 4, w);
+        b.mov(stage, va, w);
+        b.lrp(mix, b.arg(3), stage, vb, w);
+        b.mov(stage, mix, w);
+        b.and_(oa, i2, imm(mask), w);
+        b.shl(oa, oa, imm(2), w);
+        b.add(oa, oa, b.arg(2), w);
+        b.store(stage, oa, 4, w);
+    }
+    b.endLoop();
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * effect: video rendering effect — reads once, writes an expanded
+ * set of outputs (the Sony write-skew pattern: up to hundreds of
+ * bytes written per byte read).
+ * params: [trips, writesPerRead, mask, width]   args: [in, out]
+ */
+KernelBinary
+tmplEffect(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t trips = param(p, 0, 16);
+    int64_t writes = param(p, 1, 8);
+    auto mask = (uint32_t)param(p, 2, 0xffff);
+    int w = (int)param(p, 3, 16);
+
+    KernelBuilder b(name, 4);
+    Reg c = b.reg();
+    Reg trips_r = b.reg();
+    b.and_(trips_r, b.arg(2), imm(7), 1);
+    b.add(trips_r, trips_r, imm((uint32_t)trips), 1);
+    b.beginLoop(c, trips_r);
+    {
+        Reg i2 = b.reg();
+        b.mad(i2, c, imm(173), b.globalIds(), w);
+        Reg ia = laneAddr(b, b.arg(0), i2, mask, w);
+        Reg v = b.reg();
+        b.load(v, ia, 4, w);
+        Reg lum = b.reg();
+        b.fmul(lum, v, fimm(0.7152f), w);
+        Reg shifted = b.reg(), oa = b.reg(), px = b.reg();
+        for (int64_t k = 0; k < writes; ++k) {
+            b.mad(shifted, i2, imm(7), imm((uint32_t)(k * 37)), w);
+            b.and_(oa, shifted, imm(mask), w);
+            b.shl(oa, oa, imm(2), w);
+            b.add(oa, oa, b.arg(1), w);
+            b.fmad(px, lum, fimm(1.0f / 255.0f), v, w);
+            b.store(px, oa, 16, w);
+        }
+    }
+    b.endLoop();
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * reduce: read-heavy strided accumulation with a single result
+ * store per thread.
+ * params: [trips, mask, width]   args: [in, out]
+ */
+KernelBinary
+tmplReduce(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t trips = param(p, 0, 128);
+    auto mask = (uint32_t)param(p, 1, 0xffff);
+    int w = (int)param(p, 2, 16);
+
+    KernelBuilder b(name, 2);
+    Reg acc = b.reg();
+    b.mov(acc, imm(0), w);
+    Reg c = b.reg();
+    Reg i2 = b.reg(), a = b.reg(), v = b.reg();
+    b.beginLoop(c, imm((uint32_t)trips));
+    for (int k = 0; k < 3; ++k) {
+        b.mad(i2, c, imm(61), b.globalIds(), w);
+        b.add(i2, i2, imm((uint32_t)(k * 31)), w);
+        b.and_(a, i2, imm(mask), w);
+        b.shl(a, a, imm(2), w);
+        b.add(a, a, b.arg(0), w);
+        b.load(v, a, 16, w);
+        b.mov(i2, v, w);
+        b.add(acc, acc, i2, w);
+    }
+    b.endLoop();
+    Reg oa = laneAddr(b, b.arg(1), b.globalIds(), mask, w);
+    b.store(acc, oa, 4, w);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * matmul: k-dimension dot-product loop over two streamed inputs.
+ * params: [kdim, mask, width]   args: [a, b, c]
+ */
+KernelBinary
+tmplMatmul(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t kdim = param(p, 0, 64);
+    auto mask = (uint32_t)param(p, 1, 0xffff);
+    int w = (int)param(p, 2, 8);
+
+    KernelBuilder b(name, 3);
+    Reg acc = b.reg();
+    b.mov(acc, fimm(0.0f), w);
+    Reg c = b.reg();
+    b.beginLoop(c, imm((uint32_t)kdim));
+    {
+        Reg ra = b.reg();
+        b.mad(ra, b.globalIds(), imm((uint32_t)kdim), c, w);
+        Reg aa = laneAddr(b, b.arg(0), ra, mask, w);
+        Reg va = b.reg();
+        b.load(va, aa, 4, w);
+        Reg rb = b.reg();
+        b.mad(rb, c, imm(511), b.globalIds(), w);
+        Reg ab = laneAddr(b, b.arg(1), rb, mask, w);
+        Reg vb = b.reg();
+        b.load(vb, ab, 4, w);
+        b.fmad(acc, va, vb, acc, w);
+    }
+    b.endLoop();
+    Reg oa = laneAddr(b, b.arg(2), b.globalIds(), mask, w);
+    b.store(acc, oa, 4, w);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * flow: TV-L1-style optical-flow update — neighbor differences and
+ * clamping between two frames.
+ * params: [iters, mask, width]   args: [prev, next, out]
+ */
+KernelBinary
+tmplFlow(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t iters = param(p, 0, 8);
+    auto mask = (uint32_t)param(p, 1, 0xffff);
+    int w = (int)param(p, 2, 16);
+
+    KernelBuilder b(name, 3);
+    Reg u = b.reg();
+    b.mov(u, fimm(0.0f), w);
+    Reg c = b.reg();
+    Reg pa = b.reg(), vp = b.reg(), shifted = b.reg();
+    Reg na = b.reg(), vn = b.reg(), grad = b.reg();
+    Reg mag = b.reg(), damp = b.reg();
+    b.beginLoop(c, imm((uint32_t)iters));
+    for (int k = 0; k < 2; ++k) {
+        b.and_(pa, b.globalIds(), imm(mask), w);
+        b.shl(pa, pa, imm(2), w);
+        b.add(pa, pa, b.arg(0), w);
+        b.load(vp, pa, 4, w);
+        b.add(shifted, b.globalIds(), c, w);
+        b.add(shifted, shifted, imm((uint32_t)(k * 19)), w);
+        b.and_(na, shifted, imm(mask), w);
+        b.shl(na, na, imm(2), w);
+        b.add(na, na, b.arg(1), w);
+        b.load(vn, na, 4, w);
+        b.mov(grad, vn, w);
+        b.sub(grad, grad, vp, w);
+        b.asr(mag, grad, imm(4), w);
+        b.min_(mag, mag, imm(255), w);
+        b.max_(mag, mag, imm(0), w);
+        b.add(u, u, mag, w);
+        b.mov(damp, u, w);
+        b.shr(damp, damp, imm(1), w);
+        b.sub(u, u, damp, w);
+    }
+    b.endLoop();
+    Reg oa = laneAddr(b, b.arg(2), b.globalIds(), mask, w);
+    b.store(u, oa, 4, w);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * cascade: classifier cascade with per-thread early exit — the one
+ * template whose control flow depends on the work item, exercising
+ * heterogeneous-thread execution (vision face detection).
+ * params: [stages, mask, width]   args: [img, out]
+ */
+KernelBinary
+tmplCascade(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t stages = param(p, 0, 8);
+    auto mask = (uint32_t)param(p, 1, 0xffff);
+    int w = (int)param(p, 2, 8);
+
+    KernelBuilder b(name, 4);
+    Reg score = b.reg();
+    b.mov(score, imm(0), 1);
+    Reg key = b.reg();
+    // Per-thread key drives stage survival: mix the thread id.
+    b.mul(key, b.dispatchInfo(), imm(0x9e37), 1);
+    b.xor_(key, key, imm(0x5bd1), 1);
+    // The rejection threshold is a runtime argument (classifier
+    // sensitivity per pyramid level); arg 3 is an unread frame tag.
+    Reg thr = b.reg();
+    b.and_(thr, b.arg(2), imm(3), 1);
+    Reg gate = b.reg(), fa = b.reg(), v = b.reg(), wsum = b.reg();
+    for (int64_t s = 0; s < stages; ++s) {
+        Flag f = b.flag();
+        b.shr(gate, key, imm((uint32_t)s), 1);
+        b.and_(gate, gate, imm(7), 1);
+        b.cmp(CmpOp::Le, f, gate, thr, 1);
+        b.brc(f, "reject");
+        // Stage body: a few feature taps and a threshold update.
+        b.and_(fa, b.globalIds(), imm(mask), w);
+        b.shl(fa, fa, imm(2), w);
+        b.add(fa, fa, b.arg(0), w);
+        b.load(v, fa, 4, w);
+        b.mad(wsum, v, imm((uint32_t)(s + 3)), v, w);
+        b.add(score, score, wsum, 1);
+    }
+    b.label("reject");
+    Reg oa = laneAddr(b, b.arg(1), b.globalIds(), mask, w);
+    b.store(score, oa, 4, w);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * shader: graphics-style vertex/pixel work — plane equations,
+ * interpolants, texture gathers, heavy on moves (T-Rex, Provence).
+ * params: [trips, mask, width]   args: [tex, out, t]
+ */
+KernelBinary
+tmplShader(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t trips = param(p, 0, 16);
+    auto mask = (uint32_t)param(p, 1, 0xffff);
+    int w = (int)param(p, 2, 16);
+
+    KernelBuilder b(name, 3);
+    Reg c = b.reg();
+    b.beginLoop(c, imm((uint32_t)trips));
+    {
+        Reg uv = b.reg();
+        b.mad(uv, c, imm(29), b.globalIds(), w);
+        Reg bary = b.reg();
+        b.pln(bary, b.arg(2), uv, b.arg(2), w);
+        Reg ta = laneAddr(b, b.arg(0), uv, mask, w);
+        Reg texel = b.reg();
+        b.load(texel, ta, 4, w);
+        Reg r0 = b.reg(), r1 = b.reg(), r2 = b.reg();
+        b.mov(r0, texel, w);
+        b.mov(r1, bary, w);
+        b.lrp(r2, b.arg(2), r0, r1, w);
+        Reg lit = b.reg();
+        b.mov(lit, r2, w);
+        b.fmad(lit, lit, b.arg(2), r0, w);
+        Reg shade = b.reg();
+        b.mov(shade, lit, w);
+        Reg oa = laneAddr(b, b.arg(1), uv, mask, w);
+        b.store(shade, oa, 4, w);
+    }
+    b.endLoop();
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * stress: the Sandra "Processor GPU" stress pattern — long FMA
+ * dependency chains, ~90% computation instructions.
+ * params: [trips, chain, width]   args: [out]
+ */
+KernelBinary
+tmplStress(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t trips = param(p, 0, 64);
+    int64_t chain = param(p, 1, 24);
+    int w = (int)param(p, 2, 16);
+
+    KernelBuilder b(name, 1);
+    Reg x = b.reg(), y = b.reg();
+    b.mov(x, fimm(1.5f), w);
+    b.mov(y, fimm(0.25f), w);
+    Reg c = b.reg();
+    b.beginLoop(c, imm((uint32_t)trips));
+    {
+        for (int64_t k = 0; k < chain; ++k) {
+            b.fmad(x, x, y, x, w);
+            b.fmul(y, y, fimm(0.9995f), w);
+            b.fadd(x, x, fimm(-0.125f), w);
+        }
+    }
+    b.endLoop();
+    Reg oa = laneAddr(b, b.arg(0), b.globalIds(), 0xffff, w);
+    b.store(x, oa, 4, w);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * scan: log-step prefix scan through local memory (subroutine call
+ * included, exercising Call/Ret).
+ * params: [levels, mask, width]   args: [in, out]
+ */
+KernelBinary
+tmplScan(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t levels = param(p, 0, 8);
+    auto mask = (uint32_t)param(p, 1, 0xffff);
+    int w = (int)param(p, 2, 16);
+
+    KernelBuilder b(name, 2);
+    Reg ia = laneAddr(b, b.arg(0), b.globalIds(), mask, w);
+    Reg v = b.reg();
+    b.load(v, ia, 4, w);
+    Reg la = b.reg();
+    b.and_(la, b.globalIds(), imm(0x3ff), w);
+    b.shl(la, la, imm(2), w);
+    b.store(v, la, 4, w, 0, isa::AddrSpace::Local);
+    Reg c = b.reg();
+    b.beginLoop(c, imm((uint32_t)levels));
+    {
+        b.call("scan_step");
+    }
+    b.endLoop();
+    Reg res = b.reg();
+    b.load(res, la, 4, w, 0, isa::AddrSpace::Local);
+    Reg oa = laneAddr(b, b.arg(1), b.globalIds(), mask, w);
+    b.store(res, oa, 4, w);
+    b.halt();
+
+    // Subroutine: one scan level over local memory.
+    b.label("scan_step");
+    Reg off = b.reg();
+    b.shl(off, c, imm(2), w);
+    Reg pa = b.reg();
+    b.add(pa, la, off, w);
+    b.and_(pa, pa, imm(0xfff), w);
+    Reg other = b.reg();
+    b.load(other, pa, 4, w, 0, isa::AddrSpace::Local);
+    Reg cur = b.reg();
+    b.load(cur, la, 4, w, 0, isa::AddrSpace::Local);
+    b.add(cur, cur, other, w);
+    b.store(cur, la, 4, w, 0, isa::AddrSpace::Local);
+    b.ret();
+    return b.finish();
+}
+
+/**
+ * deep: a long chain of small conditionally-skipped blocks — gives
+ * kernels with very large static basic-block counts (the paper sees
+ * up to 11,500 unique blocks per application).
+ * params: [stages, seed, mask, width]   args: [in, out]
+ */
+KernelBinary
+tmplDeep(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t stages = param(p, 0, 64);
+    auto seed = (uint32_t)param(p, 1, 0xa5a5a5a5u);
+    auto mask = (uint32_t)param(p, 2, 0xffff);
+    int w = (int)param(p, 3, 8);
+
+    KernelBuilder b(name, 4);
+    Reg acc = b.reg();
+    Reg ia = laneAddr(b, b.arg(0), b.globalIds(), mask, w);
+    b.load(acc, ia, 4, w);
+    // Stage survival is steered by a runtime selector argument
+    // (arg 2); arg 3 is a frame tag the kernel never reads — real
+    // applications pass such incidental values too, and they make
+    // argument hashes vary without changing behaviour.
+    Reg sel = b.reg();
+    b.mov(sel, b.arg(2), 1);
+    b.xor_(sel, sel, imm(seed), 1);
+    Reg bit = b.reg();
+    Reg ma = b.reg(), mv = b.reg();
+    for (int64_t s = 0; s < stages; ++s) {
+        Flag f = b.flag();
+        b.shr(bit, sel, imm((uint32_t)(s % 17)), 1);
+        b.and_(bit, bit, imm(1), 1);
+        b.cmp(CmpOp::Eq, f, bit, imm(0), 1);
+        std::string skip = "skip" + std::to_string(s);
+        b.brc(f, skip);
+        if (s % 3 == 2) {
+            // Memory-heavy stage: a wide gather and scatter.
+            b.mad(ma, acc, imm(13), b.globalIds(), w);
+            b.and_(ma, ma, imm(mask), w);
+            b.shl(ma, ma, imm(2), w);
+            b.add(ma, ma, b.arg(0), w);
+            b.load(mv, ma, 16, w);
+            b.xor_(acc, acc, mv, w);
+            b.add(ma, ma, b.arg(1), w);
+            b.and_(ma, ma, imm(mask), w);
+            b.shl(ma, ma, imm(2), w);
+            b.add(ma, ma, b.arg(1), w);
+            b.store(acc, ma, 16, w);
+        } else {
+            // Compute stage.
+            b.mad(acc, acc, imm((uint32_t)(s * 2 + 3)), acc, w);
+            b.xor_(acc, acc, imm(seed + (uint32_t)s), w);
+        }
+        b.label(skip);
+        b.add(sel, sel, imm(0x9e3779b9u), 1);
+    }
+    Reg oa = laneAddr(b, b.arg(1), b.globalIds(), mask, w);
+    b.store(acc, oa, 4, w);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * particle: forces with transcendental math (sin/cos) — particle
+ * simulations' per-step update.
+ * params: [steps, mask, width]   args: [pos, vel, dt]
+ */
+KernelBinary
+tmplParticle(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t steps = param(p, 0, 32);
+    auto mask = (uint32_t)param(p, 1, 0xffff);
+    int w = (int)param(p, 2, 8);
+
+    KernelBuilder b(name, 3);
+    Reg pa = laneAddr(b, b.arg(0), b.globalIds(), mask, w);
+    Reg pos = b.reg();
+    b.load(pos, pa, 4, w);
+    Reg va = laneAddr(b, b.arg(1), b.globalIds(), mask, w);
+    Reg vel = b.reg();
+    b.load(vel, va, 4, w);
+    Reg c = b.reg();
+    Reg fx = b.reg(), fy = b.reg(), force = b.reg();
+    Reg stage = b.reg();
+    b.beginLoop(c, imm((uint32_t)steps));
+    for (int k = 0; k < 4; ++k) {
+        b.sin(fx, pos, w);
+        b.cos(fy, pos, w);
+        b.mov(stage, fx, w);
+        b.fmad(force, stage, fy, fx, w);
+        b.fmad(vel, force, b.arg(2), vel, w);
+        b.fmad(pos, vel, b.arg(2), pos, w);
+        b.mov(stage, pos, w);
+        b.fadd(pos, stage, fimm(0.0009765625f), w);
+    }
+    b.endLoop();
+    b.store(pos, pa, 4, w);
+    b.store(vel, va, 4, w);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * lut: load / table-lookup / store transform (tone mapping, color
+ * conversion in image pipelines).
+ * params: [trips, lutMask, mask, width]   args: [in, lut, out]
+ */
+KernelBinary
+tmplLut(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t trips = param(p, 0, 16);
+    auto lut_mask = (uint32_t)param(p, 1, 0xff);
+    auto mask = (uint32_t)param(p, 2, 0xffff);
+    int w = (int)param(p, 3, 16);
+
+    KernelBuilder b(name, 4);
+    Reg c = b.reg();
+    Reg i2 = b.reg(), v = b.reg(), key = b.reg(), tv = b.reg();
+    Reg ia = b.reg(), ta = b.reg(), oa = b.reg(), out = b.reg();
+    Reg trips_r = b.reg();
+    b.and_(trips_r, b.arg(3), imm(7), 1);
+    b.add(trips_r, trips_r, imm((uint32_t)trips), 1);
+    b.beginLoop(c, trips_r);
+    for (int k = 0; k < 3; ++k) {
+        b.mad(i2, c, imm(89), b.globalIds(), w);
+        b.add(i2, i2, imm((uint32_t)(k * 41)), w);
+        b.and_(ia, i2, imm(mask), w);
+        b.shl(ia, ia, imm(2), w);
+        b.add(ia, ia, b.arg(0), w);
+        b.load(v, ia, 4, w);
+        b.shr(key, v, imm(8), w);
+        b.and_(ta, key, imm(lut_mask), w);
+        b.shl(ta, ta, imm(2), w);
+        b.add(ta, ta, b.arg(1), w);
+        b.load(tv, ta, 4, w);
+        b.mov(out, v, w);
+        b.avg(out, out, tv, w);
+        b.and_(oa, i2, imm(mask), w);
+        b.shl(oa, oa, imm(2), w);
+        b.add(oa, oa, b.arg(2), w);
+        b.store(out, oa, 4, w);
+    }
+    b.endLoop();
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * fft: butterfly stage with twiddle factors (ocean-surface FFT
+ * synthesis).
+ * params: [butterflies, mask, width]   args: [data, stage, out]
+ */
+KernelBinary
+tmplFft(const std::string &name, const std::vector<int64_t> &p)
+{
+    int64_t butterflies = param(p, 0, 16);
+    auto mask = (uint32_t)param(p, 1, 0xffff);
+    int w = (int)param(p, 2, 16);
+
+    KernelBuilder b(name, 3);
+    Reg c = b.reg();
+    b.beginLoop(c, imm((uint32_t)butterflies));
+    {
+        Reg i0 = b.reg();
+        b.mad(i0, c, imm(2), b.globalIds(), w);
+        Reg stride = b.reg();
+        b.shl(stride, b.arg(1), imm(1), w);
+        Reg i1 = b.reg();
+        b.add(i1, i0, stride, w);
+        Reg a0 = laneAddr(b, b.arg(0), i0, mask, w);
+        Reg v0 = b.reg();
+        b.load(v0, a0, 8, w);
+        Reg a1 = laneAddr(b, b.arg(0), i1, mask, w);
+        Reg v1 = b.reg();
+        b.load(v1, a1, 8, w);
+        Reg ang = b.reg();
+        b.fmul(ang, v1, fimm(0.19635f), w);
+        Reg tw_r = b.reg(), tw_i = b.reg();
+        b.cos(tw_r, ang, w);
+        b.sin(tw_i, ang, w);
+        Reg rot = b.reg();
+        b.fmad(rot, v1, tw_r, tw_i, w);
+        Reg hi = b.reg(), lo = b.reg();
+        b.fadd(hi, v0, rot, w);
+        b.fadd(lo, v0, rot, w);
+        Reg oa0 = laneAddr(b, b.arg(2), i0, mask, w);
+        b.store(hi, oa0, 8, w);
+        Reg oa1 = laneAddr(b, b.arg(2), i1, mask, w);
+        b.store(lo, oa1, 8, w);
+    }
+    b.endLoop();
+    b.halt();
+    return b.finish();
+}
+
+} // anonymous namespace
+
+KernelTemplateRegistry::KernelTemplateRegistry()
+{
+    add("stream", tmplStream);
+    add("blur", tmplBlur);
+    add("histogram", tmplHistogram);
+    add("hash", tmplHash);
+    add("aes", tmplAes);
+    add("nbody", tmplNbody);
+    add("julia", tmplJulia);
+    add("ao", tmplAo);
+    add("blend", tmplBlend);
+    add("effect", tmplEffect);
+    add("reduce", tmplReduce);
+    add("matmul", tmplMatmul);
+    add("flow", tmplFlow);
+    add("cascade", tmplCascade);
+    add("shader", tmplShader);
+    add("stress", tmplStress);
+    add("scan", tmplScan);
+    add("deep", tmplDeep);
+    add("particle", tmplParticle);
+    add("lut", tmplLut);
+    add("fft", tmplFft);
+}
+
+void
+KernelTemplateRegistry::add(const std::string &template_name,
+                            TemplateFn fn)
+{
+    GT_ASSERT(fn, "null template function");
+    templates[template_name] = std::move(fn);
+}
+
+bool
+KernelTemplateRegistry::has(const std::string &template_name) const
+{
+    return templates.count(template_name) > 0;
+}
+
+isa::KernelBinary
+KernelTemplateRegistry::instantiate(
+    const std::string &template_name, const std::string &name,
+    const std::vector<int64_t> &params) const
+{
+    auto it = templates.find(template_name);
+    if (it == templates.end())
+        fatal("unknown kernel template '", template_name, "'");
+    isa::KernelBinary bin = it->second(name, params);
+    isa::verify(bin);
+    return bin;
+}
+
+std::vector<std::string>
+KernelTemplateRegistry::templateNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(templates.size());
+    for (const auto &[name, fn] : templates)
+        names.push_back(name);
+    return names;
+}
+
+const KernelTemplateRegistry &
+builtinTemplates()
+{
+    static const KernelTemplateRegistry registry;
+    return registry;
+}
+
+isa::KernelBinary
+TemplateJit::compile(const isa::KernelSource &source) const
+{
+    std::string name = source.name;
+    if (name.empty()) {
+        name = source.templateName;
+        for (int64_t p : source.params)
+            name += "_" + std::to_string(p);
+    }
+    return reg.instantiate(source.templateName, name, source.params);
+}
+
+} // namespace gt::workloads

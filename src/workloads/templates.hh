@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The kernel template library and its JIT compiler.
+ *
+ * Real OpenCL applications ship kernel source that the GPU driver
+ * JIT-compiles at clBuildProgram time. Our synthetic workloads ship
+ * KernelSources that name a template here plus compile parameters
+ * (trip counts, radii, unroll factors, SIMD widths). TemplateJit is
+ * the isa::JitCompiler the driver uses: it instantiates the template
+ * through KernelBuilder, producing a verified binary — the artifact
+ * GT-Pin's rewriter then instruments.
+ *
+ * The templates span the paper's workload domains: streaming and
+ * image filters, histogramming, cryptography (SHA-style and
+ * AES-style rounds), physics (n-body, particles), fractals,
+ * ray-traced ambient occlusion, video effects, shaders, prefix
+ * scans, deep multi-block pipelines, and cascade classifiers with
+ * thread-dependent control flow.
+ */
+
+#ifndef GT_WORKLOADS_TEMPLATES_HH
+#define GT_WORKLOADS_TEMPLATES_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/builder.hh"
+
+namespace gt::workloads
+{
+
+/** Instantiates one kernel template. */
+using TemplateFn = std::function<isa::KernelBinary(
+    const std::string &name, const std::vector<int64_t> &params)>;
+
+/** Name -> template function map with the built-in library loaded. */
+class KernelTemplateRegistry
+{
+  public:
+    /** Registry preloaded with the built-in template library. */
+    KernelTemplateRegistry();
+
+    /** Register or replace a template (user extension point). */
+    void add(const std::string &template_name, TemplateFn fn);
+
+    bool has(const std::string &template_name) const;
+
+    /** Instantiate; throws FatalError for unknown templates. */
+    isa::KernelBinary instantiate(
+        const std::string &template_name, const std::string &name,
+        const std::vector<int64_t> &params) const;
+
+    std::vector<std::string> templateNames() const;
+
+  private:
+    std::map<std::string, TemplateFn> templates;
+};
+
+/** The process-wide registry instance. */
+const KernelTemplateRegistry &builtinTemplates();
+
+/** JIT compiler backed by a template registry. */
+class TemplateJit : public isa::JitCompiler
+{
+  public:
+    explicit TemplateJit(
+        const KernelTemplateRegistry &registry = builtinTemplates())
+        : reg(registry)
+    {}
+
+    isa::KernelBinary
+    compile(const isa::KernelSource &source) const override;
+
+  private:
+    const KernelTemplateRegistry &reg;
+};
+
+} // namespace gt::workloads
+
+#endif // GT_WORKLOADS_TEMPLATES_HH

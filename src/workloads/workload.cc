@@ -1,0 +1,34 @@
+#include "workloads/workload.hh"
+
+namespace gt::workloads
+{
+
+AppBase::Session
+AppBase::begin(ocl::ClRuntime &rt) const
+{
+    rt.getPlatformIds();
+    rt.getDeviceIds();
+    ocl::Context ctx = rt.createContext();
+    ocl::CommandQueue queue = rt.createCommandQueue(ctx);
+    return Session{rt, ctx, queue};
+}
+
+void
+AppBase::end(Session &s) const
+{
+    s.rt.finish(s.queue);
+    s.rt.releaseCommandQueue(s.queue);
+    s.rt.releaseContext(s.ctx);
+}
+
+ocl::Mem
+AppBase::makeBuffer(Session &s, uint64_t elems, uint32_t fill) const
+{
+    // +64 bytes of slack so sends with up to 16 bytes/lane stay in
+    // bounds after the templates' element masking.
+    ocl::Mem mem = s.rt.createBuffer(s.ctx, elems * 4 + 64);
+    s.rt.enqueueFillBuffer(s.queue, mem, fill, 0, elems * 4 + 64);
+    return mem;
+}
+
+} // namespace gt::workloads

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The synthetic application suite standing in for Table I.
+ *
+ * The paper characterizes 25 commercial and benchmark OpenCL
+ * applications from CompuBench CL 1.2 (desktop and mobile), the
+ * SiSoftware Sandra 2014 suite, and the Sony Vegas Pro 2013 test
+ * project. None of those are redistributable, so each is replaced
+ * by a synthetic host program tuned to its published per-app
+ * characteristics: API-call mix, unique kernel and basic-block
+ * counts, invocation counts, instruction mixes, SIMD usage, and
+ * read/write skew (Figs. 3 and 4). A workload's run() is an
+ * ordinary OpenCL-style host program; everything downstream (GT-Pin,
+ * CoFluent tracing, subset selection) treats it exactly like a real
+ * application.
+ */
+
+#ifndef GT_WORKLOADS_WORKLOAD_HH
+#define GT_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ocl/runtime.hh"
+#include "workloads/templates.hh"
+
+namespace gt::workloads
+{
+
+/** Table I metadata for one application. */
+struct WorkloadInfo
+{
+    std::string name;    //!< e.g. "cb-physics-ocean-surf"
+    std::string suite;   //!< e.g. "CompuBench CL 1.2 Desktop"
+    std::string domain;  //!< e.g. "physics"
+};
+
+/** One application: metadata plus a host program. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const WorkloadInfo &info() const = 0;
+
+    /** Execute the host program against @p runtime. */
+    virtual void run(ocl::ClRuntime &runtime) const = 0;
+};
+
+/**
+ * Common host-program plumbing shared by the applications: the
+ * platform/context/queue prologue, slack-padded buffer creation, and
+ * the cleanup epilogue. Derived classes write only their distinctive
+ * frame/phase logic.
+ */
+class AppBase : public Workload
+{
+  public:
+    const WorkloadInfo &info() const override { return meta; }
+
+  protected:
+    AppBase(std::string name, std::string suite, std::string domain)
+        : meta{std::move(name), std::move(suite), std::move(domain)}
+    {}
+
+    /** Open handles of a running session. */
+    struct Session
+    {
+        ocl::ClRuntime &rt;
+        ocl::Context ctx;
+        ocl::CommandQueue queue;
+    };
+
+    /** Standard prologue: platform, device, context, queue. */
+    Session begin(ocl::ClRuntime &rt) const;
+
+    /** Standard epilogue: final finish plus releases. */
+    void end(Session &s) const;
+
+    /**
+     * Create a buffer holding @p elems 32-bit elements (plus slack
+     * for wide send payloads) and fill it with a pattern.
+     */
+    ocl::Mem makeBuffer(Session &s, uint64_t elems,
+                        uint32_t fill = 0x01020304u) const;
+
+    WorkloadInfo meta;
+};
+
+/** All 25 applications in the paper's presentation order. */
+const std::vector<const Workload *> &workloadSuite();
+
+/** @return the workload named @p name, or null. */
+const Workload *findWorkload(const std::string &name);
+
+} // namespace gt::workloads
+
+#endif // GT_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Cache-model and cache-sim-tool tests: the set-associative LRU
+ * model behind GT-Pin's "cache simulation through the use of memory
+ * traces" capability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "gtpin/cache_sim.hh"
+#include "ocl/runtime.hh"
+#include "workloads/templates.hh"
+
+namespace gt::gtpin
+{
+namespace
+{
+
+TEST(CacheModel, ColdMissThenHit)
+{
+    CacheModel cache(4096, 4, 64);
+    EXPECT_FALSE(cache.access(0x1000, 4, false));
+    EXPECT_TRUE(cache.access(0x1000, 4, false));
+    EXPECT_TRUE(cache.access(0x1020, 4, false)); // same line
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(CacheModel, LruEvictionOrder)
+{
+    // Direct-mapped-per-set: 2 ways, force 3 conflicting lines.
+    CacheModel cache(2 * 64 * 4, 2, 64); // 4 sets, 2 ways
+    uint64_t set_stride = 4 * 64;        // same set, new tag
+    cache.access(0 * set_stride, 4, false);
+    cache.access(1 * set_stride, 4, false);
+    // Touch line 0 so line 1 is LRU.
+    cache.access(0 * set_stride, 4, false);
+    // Insert a third line: must evict line 1.
+    cache.access(2 * set_stride, 4, false);
+    EXPECT_TRUE(cache.access(0 * set_stride, 4, false));
+    EXPECT_FALSE(cache.access(1 * set_stride, 4, false));
+}
+
+TEST(CacheModel, WritebacksOnDirtyEviction)
+{
+    CacheModel cache(2 * 64 * 1, 1, 64); // 2 sets, direct mapped
+    cache.access(0, 4, true);            // dirty
+    cache.access(2 * 64, 4, false);      // evicts dirty line
+    EXPECT_EQ(cache.writebacks(), 1u);
+    cache.access(4 * 64, 4, false);      // evicts clean line
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(CacheModel, StraddlingAccessTouchesBothLines)
+{
+    CacheModel cache(4096, 4, 64);
+    cache.access(60, 8, false); // spans lines 0 and 1
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_TRUE(cache.access(64, 4, false));
+}
+
+TEST(CacheModel, HitRateAndReset)
+{
+    CacheModel cache(4096, 4, 64);
+    cache.access(0, 4, false);
+    cache.access(0, 4, false);
+    cache.access(0, 4, false);
+    cache.access(0, 4, false);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.75);
+    cache.reset();
+    EXPECT_EQ(cache.accesses(), 0u);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.0);
+    EXPECT_FALSE(cache.access(0, 4, false));
+}
+
+TEST(CacheModel, CapacitySweepImprovesHitRate)
+{
+    // A classic working-set property: a cache that fits the set has
+    // a far better hit rate than one that does not.
+    auto run = [](uint64_t cache_bytes) {
+        CacheModel cache(cache_bytes, 8, 64);
+        for (int pass = 0; pass < 4; ++pass) {
+            for (uint64_t addr = 0; addr < 64 * 1024; addr += 64)
+                cache.access(addr, 4, false);
+        }
+        return cache.hitRate();
+    };
+    double small = run(8 * 1024);
+    double large = run(256 * 1024);
+    EXPECT_LT(small, 0.1);
+    EXPECT_GT(large, 0.7);
+}
+
+TEST(CacheModel, InvalidGeometryPanics)
+{
+    setLogQuiet(true);
+    EXPECT_THROW(CacheModel(100, 4, 63), PanicError);  // line !pow2
+    EXPECT_THROW(CacheModel(64, 4, 64), PanicError);   // < 1 set
+    EXPECT_THROW(CacheModel(4096, 0, 64), PanicError); // 0 ways
+    setLogQuiet(false);
+}
+
+TEST(CacheSimToolTest, DrivenByDeviceMemoryTrace)
+{
+    workloads::TemplateJit jit;
+    gpu::TrialConfig trial;
+    trial.noiseSigma = 0.0;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit, trial);
+
+    CacheSimTool tool(64 * 1024, 16, 64);
+    GtPin pin;
+    pin.addTool(&tool);
+    pin.attach(driver);
+
+    ocl::ClRuntime rt(driver);
+    ocl::Context ctx = rt.createContext();
+    ocl::CommandQueue q = rt.createCommandQueue(ctx);
+    isa::KernelSource src;
+    src.name = "cachetest";
+    src.templateName = "stream";
+    src.params = {16, 0x3ff, 16};
+    ocl::Program prog = rt.createProgramWithSource(ctx, {src});
+    rt.buildProgram(prog);
+    ocl::Kernel k = rt.createKernel(prog, "cachetest");
+    ocl::Mem buf = rt.createBuffer(ctx, 1 << 16);
+    rt.setKernelArg(k, 0, buf);
+    rt.setKernelArg(k, 1, buf);
+    rt.setKernelArg(k, 2, 0u);
+    rt.setKernelArg(k, 3, 0u);
+    rt.enqueueNDRangeKernel(q, k, 512);
+    rt.finish(q);
+    pin.detach();
+
+    // The tool must have seen real traffic, and the streaming kernel
+    // revisits lines (per-lane 4B accesses share 64B lines).
+    EXPECT_GT(tool.cache().accesses(), 0u);
+    EXPECT_GT(tool.cache().hitRate(), 0.5);
+}
+
+TEST(CacheSimToolTest, ForcesFullExecution)
+{
+    workloads::TemplateJit jit;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit);
+    CacheSimTool tool;
+    EXPECT_TRUE(tool.needsAddresses());
+    GtPin pin;
+    pin.addTool(&tool);
+    pin.attach(driver);
+    // Attaching a trace-needing tool switches the driver to Full
+    // per-lane execution; we can only observe this indirectly: the
+    // tool receives accesses (checked above). Here we just confirm
+    // attach/detach is clean.
+    pin.detach();
+}
+
+} // anonymous namespace
+} // namespace gt::gtpin

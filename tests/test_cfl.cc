@@ -1,0 +1,255 @@
+/**
+ * @file
+ * CoFluent-analogue tests: API tracing (Fig. 3a inputs, per-kernel
+ * timing for Eq. 1) and record/replay (the Section V-E mechanism
+ * that makes selections findable across trials).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfl/recorder.hh"
+#include "cfl/tracer.hh"
+#include "common/logging.hh"
+#include "workloads/workload.hh"
+
+namespace gt::cfl
+{
+namespace
+{
+
+gpu::TrialConfig
+trial(uint64_t seed, double sigma = 0.01)
+{
+    gpu::TrialConfig t;
+    t.noiseSeed = seed;
+    t.noiseSigma = sigma;
+    return t;
+}
+
+/** Run workload @p name, returning tracer+recorder results. */
+void
+runTraced(const std::string &name, const gpu::TrialConfig &t,
+          ApiTracer &tracer, Recorder *recorder = nullptr)
+{
+    const workloads::Workload *w = workloads::findWorkload(name);
+    ASSERT_NE(w, nullptr);
+    workloads::TemplateJit jit;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit, t);
+    ocl::ClRuntime rt(driver);
+    rt.addObserver(&tracer);
+    if (recorder)
+        rt.addObserver(recorder);
+    w->run(rt);
+}
+
+TEST(Tracer, CountsAndCategorizes)
+{
+    ApiTracer tracer;
+    runTraced("cb-throughput-juliaset", trial(1), tracer);
+
+    EXPECT_GT(tracer.totalCalls(), 100u);
+    uint64_t sum =
+        tracer.categoryCalls(ocl::ApiCategory::Kernel) +
+        tracer.categoryCalls(ocl::ApiCategory::Synchronization) +
+        tracer.categoryCalls(ocl::ApiCategory::Other);
+    EXPECT_EQ(sum, tracer.totalCalls());
+
+    double fracs = tracer.categoryFraction(ocl::ApiCategory::Kernel) +
+        tracer.categoryFraction(ocl::ApiCategory::Synchronization) +
+        tracer.categoryFraction(ocl::ApiCategory::Other);
+    EXPECT_NEAR(fracs, 1.0, 1e-12);
+
+    // Juliaset is the paper's sync-heavy outlier.
+    EXPECT_GT(
+        tracer.categoryFraction(ocl::ApiCategory::Synchronization),
+        0.15);
+}
+
+TEST(Tracer, KernelTimingsPerDispatch)
+{
+    ApiTracer tracer;
+    runTraced("cb-gaussian-image", trial(2), tracer);
+
+    EXPECT_EQ(tracer.kernelTimings().size(),
+              tracer.categoryCalls(ocl::ApiCategory::Kernel));
+    double sum = 0.0;
+    uint64_t prev_seq = 0;
+    bool first = true;
+    for (const KernelTiming &kt : tracer.kernelTimings()) {
+        EXPECT_GT(kt.seconds, 0.0);
+        EXPECT_FALSE(kt.kernelName.empty());
+        EXPECT_GT(kt.globalWorkSize, 0u);
+        if (!first) {
+            EXPECT_GT(kt.seq, prev_seq);
+        }
+        prev_seq = kt.seq;
+        first = false;
+        sum += kt.seconds;
+    }
+    EXPECT_NEAR(sum, tracer.totalKernelSeconds(), 1e-12);
+}
+
+TEST(Tracer, ResetClears)
+{
+    ApiTracer tracer;
+    runTraced("cb-gaussian-image", trial(3), tracer);
+    EXPECT_GT(tracer.totalCalls(), 0u);
+    tracer.reset();
+    EXPECT_EQ(tracer.totalCalls(), 0u);
+    EXPECT_EQ(tracer.kernelTimings().size(), 0u);
+    EXPECT_EQ(tracer.totalKernelSeconds(), 0.0);
+}
+
+TEST(Tracer, PerCallCountsSumToTotal)
+{
+    ApiTracer tracer;
+    runTraced("cb-throughput-juliaset", trial(4), tracer);
+    uint64_t sum = 0;
+    for (uint64_t c : tracer.perCall())
+        sum += c;
+    EXPECT_EQ(sum, tracer.totalCalls());
+}
+
+TEST(RecordReplay, ReplayReproducesTheCallStream)
+{
+    ApiTracer tracer1;
+    Recorder recorder;
+    runTraced("cb-gaussian-image", trial(10), tracer1, &recorder);
+    Recording rec = recorder.take();
+    EXPECT_EQ(rec.size(), tracer1.totalCalls());
+    EXPECT_EQ(rec.dispatchCount(),
+              tracer1.categoryCalls(ocl::ApiCategory::Kernel));
+
+    // Replay on a fresh runtime; the call stream must be identical.
+    workloads::TemplateJit jit;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit,
+                          trial(10));
+    ocl::ClRuntime rt(driver);
+    ApiTracer tracer2;
+    rt.addObserver(&tracer2);
+    replay(rec, rt);
+
+    ASSERT_EQ(tracer2.totalCalls(), tracer1.totalCalls());
+    for (size_t i = 0; i < tracer1.callStream().size(); ++i) {
+        const auto &a = tracer1.callStream()[i];
+        const auto &b = tracer2.callStream()[i];
+        EXPECT_EQ(a.id, b.id) << "call " << i;
+        EXPECT_EQ(a.kernelName, b.kernelName) << "call " << i;
+        EXPECT_EQ(a.globalWorkSize, b.globalWorkSize);
+        EXPECT_EQ(a.argsHash, b.argsHash) << "call " << i;
+    }
+}
+
+TEST(RecordReplay, SameSeedReproducesTimings)
+{
+    ApiTracer tracer1;
+    Recorder recorder;
+    runTraced("cb-gaussian-image", trial(11), tracer1, &recorder);
+    Recording rec = recorder.take();
+
+    workloads::TemplateJit jit;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit,
+                          trial(11));
+    ocl::ClRuntime rt(driver);
+    ApiTracer tracer2;
+    rt.addObserver(&tracer2);
+    replay(rec, rt);
+
+    ASSERT_EQ(tracer2.kernelTimings().size(),
+              tracer1.kernelTimings().size());
+    for (size_t i = 0; i < tracer1.kernelTimings().size(); ++i) {
+        EXPECT_DOUBLE_EQ(tracer1.kernelTimings()[i].seconds,
+                         tracer2.kernelTimings()[i].seconds);
+    }
+}
+
+TEST(RecordReplay, DifferentSeedVariesTimingsOnly)
+{
+    ApiTracer tracer1;
+    Recorder recorder;
+    runTraced("cb-gaussian-image", trial(12), tracer1, &recorder);
+    Recording rec = recorder.take();
+
+    workloads::TemplateJit jit;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit,
+                          trial(13));
+    ocl::ClRuntime rt(driver);
+    ApiTracer tracer2;
+    rt.addObserver(&tracer2);
+    replay(rec, rt);
+
+    ASSERT_EQ(tracer2.kernelTimings().size(),
+              tracer1.kernelTimings().size());
+    bool any_different = false;
+    double total1 = 0.0, total2 = 0.0;
+    for (size_t i = 0; i < tracer1.kernelTimings().size(); ++i) {
+        double a = tracer1.kernelTimings()[i].seconds;
+        double b = tracer2.kernelTimings()[i].seconds;
+        any_different = any_different || a != b;
+        total1 += a;
+        total2 += b;
+        // Same kernel identity regardless of noise.
+        EXPECT_EQ(tracer1.kernelTimings()[i].kernelName,
+                  tracer2.kernelTimings()[i].kernelName);
+    }
+    EXPECT_TRUE(any_different);
+    // The totals agree closely: noise is zero-mean-ish and small.
+    EXPECT_NEAR(total2 / total1, 1.0, 0.05);
+}
+
+TEST(RecordReplay, ReplayOnUsedRuntimePanics)
+{
+    setLogQuiet(true);
+    Recorder recorder;
+    ApiTracer tracer;
+    runTraced("cb-gaussian-image", trial(14), tracer, &recorder);
+    Recording rec = recorder.take();
+
+    workloads::TemplateJit jit;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit);
+    ocl::ClRuntime rt(driver);
+    rt.getPlatformIds(); // dirty the runtime
+    EXPECT_THROW(replay(rec, rt), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(RecordReplay, EmptyRecordingIsNoop)
+{
+    workloads::TemplateJit jit;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit);
+    ocl::ClRuntime rt(driver);
+    Recording empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_NO_THROW(replay(empty, rt));
+    EXPECT_EQ(rt.apiCallCount(), 0u);
+}
+
+TEST(RecordReplay, ReplayOnDifferentArchitecture)
+{
+    // The Fig. 8 cross-generation mechanism: record on Ivy Bridge,
+    // replay on Haswell. Counts are identical; times differ. Use a
+    // compute-bound application — extra EUs cannot speed up a
+    // bandwidth-bound one.
+    ApiTracer tracer1;
+    Recorder recorder;
+    runTraced("cb-throughput-juliaset", trial(15, 0.0), tracer1,
+              &recorder);
+    Recording rec = recorder.take();
+
+    workloads::TemplateJit jit;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4600(), jit,
+                          trial(15, 0.0));
+    ocl::ClRuntime rt(driver);
+    ApiTracer tracer2;
+    rt.addObserver(&tracer2);
+    replay(rec, rt);
+
+    ASSERT_EQ(tracer2.kernelTimings().size(),
+              tracer1.kernelTimings().size());
+    // Haswell (20 EUs, higher clock) is faster overall.
+    EXPECT_LT(tracer2.totalKernelSeconds(),
+              tracer1.totalKernelSeconds());
+}
+
+} // anonymous namespace
+} // namespace gt::cfl

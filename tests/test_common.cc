@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Unit tests for the common utilities: logging, deterministic RNG,
+ * statistics accumulators, and table emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace gt
+{
+namespace
+{
+
+// --- logging --------------------------------------------------------
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    setLogQuiet(true);
+    EXPECT_THROW(panic("broken: ", 42), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    setLogQuiet(true);
+    EXPECT_THROW(fatal("bad input"), FatalError);
+    setLogQuiet(false);
+}
+
+TEST(Logging, FatalIsNotPanic)
+{
+    setLogQuiet(true);
+    try {
+        fatal("user error");
+        FAIL() << "fatal returned";
+    } catch (const FatalError &) {
+        // expected
+    } catch (...) {
+        FAIL() << "wrong exception type";
+    }
+    setLogQuiet(false);
+}
+
+TEST(Logging, AssertMacroPassesAndFails)
+{
+    setLogQuiet(true);
+    EXPECT_NO_THROW(GT_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(GT_ASSERT(1 + 1 == 3, "broken"), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Logging, MessagesCarryArguments)
+{
+    setLogQuiet(true);
+    try {
+        fatal("value was ", 17, " not ", 3.5);
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("17"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("3.5"),
+                  std::string::npos);
+    }
+    setLogQuiet(false);
+}
+
+// --- rng ------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedZeroPanics)
+{
+    setLogQuiet(true);
+    Rng rng(7);
+    EXPECT_THROW(rng.nextBounded(0), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        int64_t v = rng.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect)
+{
+    Rng rng(13);
+    RunningStat st;
+    for (int i = 0; i < 20000; ++i)
+        st.add(rng.nextGaussian(5.0, 2.0));
+    EXPECT_NEAR(st.mean(), 5.0, 0.1);
+    EXPECT_NEAR(st.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, BoolProbability)
+{
+    Rng rng(17);
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i)
+        heads += rng.nextBool(0.25);
+    EXPECT_NEAR((double)heads / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, ZipfSkewsTowardZero)
+{
+    Rng rng(19);
+    uint64_t low = 0, total = 4000;
+    for (uint64_t i = 0; i < total; ++i) {
+        uint64_t v = rng.nextZipf(100, 1.2);
+        EXPECT_LT(v, 100u);
+        low += v < 10;
+    }
+    // Zipf(1.2) concentrates well over half the mass in the head.
+    EXPECT_GT(low, total / 2);
+}
+
+TEST(Rng, ZipfSingleton)
+{
+    Rng rng(21);
+    EXPECT_EQ(rng.nextZipf(1, 1.0), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(23);
+    Rng forked = a.fork();
+    // The fork differs from the parent's continued stream.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == forked.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(29);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, LogNormalPositive)
+{
+    Rng rng(31);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.nextLogNormal(0.0, 0.5), 0.0);
+}
+
+// --- stats ----------------------------------------------------------
+
+TEST(RunningStatTest, MatchesDirectComputation)
+{
+    RunningStat st;
+    std::vector<double> v{1.0, 2.0, 4.0, 8.0, 16.0};
+    for (double x : v)
+        st.add(x);
+    EXPECT_EQ(st.count(), 5u);
+    EXPECT_DOUBLE_EQ(st.mean(), 6.2);
+    EXPECT_DOUBLE_EQ(st.min(), 1.0);
+    EXPECT_DOUBLE_EQ(st.max(), 16.0);
+    double var = 0.0;
+    for (double x : v)
+        var += (x - 6.2) * (x - 6.2);
+    var /= 5.0;
+    EXPECT_NEAR(st.variance(), var, 1e-9);
+}
+
+TEST(RunningStatTest, EmptyIsZero)
+{
+    RunningStat st;
+    EXPECT_EQ(st.count(), 0u);
+    EXPECT_EQ(st.mean(), 0.0);
+    EXPECT_EQ(st.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, WeightedMeanMatches)
+{
+    RunningStat st;
+    st.add(10.0, 1.0);
+    st.add(20.0, 3.0);
+    EXPECT_DOUBLE_EQ(st.mean(), 17.5);
+}
+
+TEST(RunningStatTest, MergeEqualsCombined)
+{
+    Rng rng(37);
+    RunningStat all, a, b;
+    for (int i = 0; i < 500; ++i) {
+        double x = rng.nextGaussian();
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, NegativeWeightPanics)
+{
+    setLogQuiet(true);
+    RunningStat st;
+    EXPECT_THROW(st.add(1.0, -1.0), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(HistogramTest, CountsAndFractions)
+{
+    Histogram h;
+    h.add(1, 3);
+    h.add(2, 1);
+    h.add(1);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.count(1), 4u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(99), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.8);
+}
+
+TEST(HistogramTest, MergeAddsBins)
+{
+    Histogram a, b;
+    a.add(1, 2);
+    b.add(1, 3);
+    b.add(5, 7);
+    a.merge(b);
+    EXPECT_EQ(a.count(1), 5u);
+    EXPECT_EQ(a.count(5), 7u);
+    EXPECT_EQ(a.total(), 12u);
+}
+
+TEST(StatsHelpers, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(StatsHelpers, WeightedMean)
+{
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {1.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {3.0, 1.0}), 1.5);
+    setLogQuiet(true);
+    EXPECT_THROW(weightedMean({1.0}, {0.0}), PanicError);
+    EXPECT_THROW(weightedMean({1.0}, {1.0, 2.0}), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(StatsHelpers, Percentile)
+{
+    std::vector<double> v{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(StatsHelpers, RelativeError)
+{
+    EXPECT_DOUBLE_EQ(relativeErrorPct(110.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(relativeErrorPct(90.0, 100.0), 10.0);
+    setLogQuiet(true);
+    EXPECT_THROW(relativeErrorPct(1.0, 0.0), PanicError);
+    setLogQuiet(false);
+}
+
+// --- table ----------------------------------------------------------
+
+TEST(Table, AlignsColumns)
+{
+    TextTable t({"a", "bee"});
+    t.addRow({"x", "y"});
+    t.addRow({"longer", "z"});
+    std::ostringstream os;
+    t.print(os, "demo");
+    std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("| longer | z   |"), std::string::npos);
+}
+
+TEST(Table, RowArityChecked)
+{
+    setLogQuiet(true);
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"with,comma", "with\"quote"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(humanCount(999), "999");
+    EXPECT_EQ(humanCount(1500), "1.50 K");
+    EXPECT_EQ(humanCount(3.7e9), "3.70 G");
+    EXPECT_EQ(humanBytes(1024), "1.00 KB");
+    EXPECT_EQ(humanBytes(512), "512.00 B");
+    EXPECT_EQ(pct(0.123), "12.3%");
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+} // anonymous namespace
+} // namespace gt

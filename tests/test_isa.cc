@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Unit tests for the device ISA: opcode taxonomy, the kernel
+ * builder, the binary verifier, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+#include "isa/disasm.hh"
+
+namespace gt::isa
+{
+namespace
+{
+
+// --- opcode taxonomy -------------------------------------------------
+
+TEST(Opcode, EveryOpcodeHasClassAndName)
+{
+    for (int op = 0; op < numOpcodes; ++op) {
+        EXPECT_NO_THROW(opClass((Opcode)op));
+        EXPECT_NE(opcodeName((Opcode)op), nullptr);
+        EXPECT_GT(std::string(opcodeName((Opcode)op)).size(), 0u);
+    }
+}
+
+TEST(Opcode, ClassesMatchPaperTaxonomy)
+{
+    EXPECT_EQ(opClass(Opcode::Mov), OpClass::Move);
+    EXPECT_EQ(opClass(Opcode::Sel), OpClass::Move);
+    EXPECT_EQ(opClass(Opcode::Xor), OpClass::Logic);
+    EXPECT_EQ(opClass(Opcode::Shl), OpClass::Logic);
+    // The paper groups compares under logic.
+    EXPECT_EQ(opClass(Opcode::Cmp), OpClass::Logic);
+    EXPECT_EQ(opClass(Opcode::Brc), OpClass::Control);
+    EXPECT_EQ(opClass(Opcode::Halt), OpClass::Control);
+    EXPECT_EQ(opClass(Opcode::FMad), OpClass::Computation);
+    EXPECT_EQ(opClass(Opcode::Sin), OpClass::Computation);
+    EXPECT_EQ(opClass(Opcode::Send), OpClass::Send);
+    EXPECT_EQ(opClass(Opcode::ProfCount),
+              OpClass::Instrumentation);
+}
+
+TEST(Opcode, TerminatorsAndControl)
+{
+    EXPECT_TRUE(isTerminator(Opcode::Jmpi));
+    EXPECT_TRUE(isTerminator(Opcode::Brc));
+    EXPECT_TRUE(isTerminator(Opcode::Halt));
+    EXPECT_TRUE(isTerminator(Opcode::Ret));
+    EXPECT_FALSE(isTerminator(Opcode::Call));
+    EXPECT_FALSE(isTerminator(Opcode::Add));
+    EXPECT_TRUE(isControl(Opcode::Call));
+}
+
+TEST(Opcode, FlagReaders)
+{
+    EXPECT_TRUE(readsFlag(Opcode::Brc));
+    EXPECT_TRUE(readsFlag(Opcode::Brnc));
+    EXPECT_TRUE(readsFlag(Opcode::Sel));
+    EXPECT_FALSE(readsFlag(Opcode::Cmp));
+}
+
+TEST(Opcode, FloatOps)
+{
+    EXPECT_TRUE(isFloatOp(Opcode::FAdd));
+    EXPECT_TRUE(isFloatOp(Opcode::Rsqrt));
+    EXPECT_FALSE(isFloatOp(Opcode::Add));
+    EXPECT_FALSE(isFloatOp(Opcode::Xor));
+}
+
+TEST(Opcode, EvalCmpSignedSemantics)
+{
+    EXPECT_TRUE(evalCmp(CmpOp::Lt, (uint32_t)-5, 3));
+    EXPECT_FALSE(evalCmp(CmpOp::Gt, (uint32_t)-5, 3));
+    EXPECT_TRUE(evalCmp(CmpOp::Eq, 7, 7));
+    EXPECT_TRUE(evalCmp(CmpOp::Ne, 7, 8));
+    EXPECT_TRUE(evalCmp(CmpOp::Le, 7, 7));
+    EXPECT_TRUE(evalCmp(CmpOp::Ge, 8, 7));
+}
+
+// --- builder ----------------------------------------------------------
+
+TEST(Builder, MinimalKernel)
+{
+    KernelBuilder b("k", 0);
+    Reg r = b.reg();
+    b.mov(r, imm(1), 1);
+    b.halt();
+    KernelBinary bin = b.finish();
+    EXPECT_EQ(bin.name, "k");
+    EXPECT_EQ(bin.blocks.size(), 1u);
+    EXPECT_EQ(bin.staticInstrCount(), 2u);
+}
+
+TEST(Builder, LoopCreatesBackEdge)
+{
+    KernelBuilder b("loop", 0);
+    Reg c = b.reg();
+    b.beginLoop(c, imm(10));
+    Reg x = b.reg();
+    b.add(x, x, imm(1), 16);
+    b.endLoop();
+    b.halt();
+    KernelBinary bin = b.finish();
+    // Entry block, loop body block, exit block.
+    EXPECT_GE(bin.blocks.size(), 2u);
+    bool has_back_edge = false;
+    for (const auto &block : bin.blocks) {
+        for (uint32_t succ : bin.successors(block))
+            has_back_edge = has_back_edge || succ <= block.id;
+    }
+    EXPECT_TRUE(has_back_edge);
+}
+
+TEST(Builder, ForwardBranchResolved)
+{
+    KernelBuilder b("fwd", 0);
+    Flag f = b.flag();
+    Reg x = b.reg();
+    b.cmp(CmpOp::Eq, f, imm(1), imm(1), 1);
+    b.brc(f, "end");
+    b.mov(x, imm(5), 1);
+    b.label("end");
+    b.halt();
+    KernelBinary bin = b.finish();
+    const Instruction *term = bin.blocks[0].terminator();
+    ASSERT_NE(term, nullptr);
+    EXPECT_EQ(term->op, Opcode::Brc);
+    EXPECT_EQ((size_t)term->target, bin.blocks.size() - 1);
+}
+
+TEST(Builder, UndefinedLabelPanics)
+{
+    setLogQuiet(true);
+    KernelBuilder b("bad", 0);
+    b.jmp("nowhere");
+    b.halt();
+    EXPECT_THROW(b.finish(), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Builder, DuplicateLabelPanics)
+{
+    setLogQuiet(true);
+    KernelBuilder b("dup", 0);
+    Reg r = b.reg();
+    b.label("a");
+    b.mov(r, imm(0), 1);
+    EXPECT_THROW(b.label("a"), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Builder, MissingTerminatorFatal)
+{
+    setLogQuiet(true);
+    KernelBuilder b("open", 0);
+    Reg r = b.reg();
+    b.mov(r, imm(0), 1);
+    EXPECT_THROW(b.finish(), FatalError);
+    setLogQuiet(false);
+}
+
+TEST(Builder, UnclosedLoopPanics)
+{
+    setLogQuiet(true);
+    KernelBuilder b("unclosed", 0);
+    Reg c = b.reg();
+    b.beginLoop(c, imm(4));
+    b.halt();
+    EXPECT_THROW(b.finish(), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Builder, RegisterExhaustionPanics)
+{
+    setLogQuiet(true);
+    KernelBuilder b("regs", 0);
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < numRegisters + 1; ++i)
+                b.reg();
+        },
+        PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Builder, ArgRegistersPreloadedLayout)
+{
+    KernelBuilder b("args", 3);
+    EXPECT_EQ(b.arg(0).idx, 2);
+    EXPECT_EQ(b.arg(2).idx, 4);
+    setLogQuiet(true);
+    EXPECT_THROW(b.arg(3), PanicError);
+    setLogQuiet(false);
+    // First allocated register comes after the arguments.
+    EXPECT_EQ(b.reg().idx, 5);
+}
+
+TEST(Builder, SingleUse)
+{
+    setLogQuiet(true);
+    KernelBuilder b("once", 0);
+    b.halt();
+    b.finish();
+    EXPECT_THROW(b.finish(), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Builder, NestedLoops)
+{
+    KernelBuilder b("nest", 0);
+    Reg i = b.reg(), j = b.reg(), acc = b.reg();
+    b.mov(acc, imm(0), 1);
+    b.beginLoop(i, imm(3));
+    b.beginLoop(j, imm(4));
+    b.add(acc, acc, imm(1), 1);
+    b.endLoop();
+    b.endLoop();
+    b.halt();
+    EXPECT_NO_THROW(b.finish());
+}
+
+TEST(Builder, CallAndSubroutine)
+{
+    KernelBuilder b("sub", 0);
+    Reg r = b.reg();
+    b.mov(r, imm(0), 1);
+    b.call("fn");
+    b.halt();
+    b.label("fn");
+    b.add(r, r, imm(1), 1);
+    b.ret();
+    KernelBinary bin = b.finish();
+    bool has_call = false, has_ret = false;
+    for (const auto &block : bin.blocks) {
+        for (const auto &ins : block.instrs) {
+            has_call = has_call || ins.op == Opcode::Call;
+            has_ret = has_ret || ins.op == Opcode::Ret;
+        }
+    }
+    EXPECT_TRUE(has_call);
+    EXPECT_TRUE(has_ret);
+}
+
+TEST(Builder, FimmRoundTrips)
+{
+    Operand o = fimm(1.5f);
+    EXPECT_TRUE(o.isImm());
+    EXPECT_EQ(o.imm, 0x3fc00000u);
+}
+
+// --- verifier ---------------------------------------------------------
+
+TEST(Verify, RejectsBadBranchTarget)
+{
+    setLogQuiet(true);
+    KernelBinary bin;
+    bin.name = "bad";
+    BasicBlock block;
+    block.id = 0;
+    Instruction jmp;
+    jmp.op = Opcode::Jmpi;
+    jmp.target = 99;
+    block.instrs.push_back(jmp);
+    bin.blocks.push_back(block);
+    EXPECT_THROW(verify(bin), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Verify, RejectsEmptyBinary)
+{
+    setLogQuiet(true);
+    KernelBinary bin;
+    bin.name = "empty";
+    EXPECT_THROW(verify(bin), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Verify, RejectsTerminatorMidBlock)
+{
+    setLogQuiet(true);
+    KernelBinary bin;
+    bin.name = "mid";
+    BasicBlock block;
+    block.id = 0;
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    Instruction mov;
+    mov.op = Opcode::Mov;
+    mov.dst = 3;
+    mov.src0 = Operand::fromImm(1);
+    block.instrs.push_back(halt);
+    block.instrs.push_back(mov);
+    bin.blocks.push_back(block);
+    bin.maxReg = 3;
+    EXPECT_THROW(verify(bin), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Verify, RejectsBadSimdWidth)
+{
+    setLogQuiet(true);
+    KernelBuilder b("w", 0);
+    Reg r = b.reg();
+    b.mov(r, imm(0), 1);
+    b.halt();
+    KernelBinary bin = b.finish();
+    bin.blocks[0].instrs[0].simdWidth = 3;
+    EXPECT_THROW(verify(bin), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Verify, RejectsFallthroughPastEnd)
+{
+    setLogQuiet(true);
+    KernelBinary bin;
+    bin.name = "fall";
+    BasicBlock block;
+    block.id = 0;
+    Instruction mov;
+    mov.op = Opcode::Mov;
+    mov.dst = 2;
+    mov.src0 = Operand::fromImm(1);
+    block.instrs.push_back(mov);
+    bin.blocks.push_back(block);
+    bin.maxReg = 2;
+    EXPECT_THROW(verify(bin), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Verify, RejectsSendWithoutAddress)
+{
+    setLogQuiet(true);
+    KernelBuilder b("send", 1);
+    Reg r = b.reg();
+    b.load(r, b.arg(0), 4, 16);
+    b.halt();
+    KernelBinary bin = b.finish();
+    bin.blocks[0].instrs[0].send.addrReg = noReg;
+    EXPECT_THROW(verify(bin), PanicError);
+    setLogQuiet(false);
+}
+
+// --- structure helpers -------------------------------------------------
+
+TEST(Kernel, SuccessorsOfConditional)
+{
+    KernelBuilder b("succ", 0);
+    Flag f = b.flag();
+    Reg r = b.reg();
+    b.cmp(CmpOp::Lt, f, imm(0), imm(1), 1);
+    b.brc(f, "target");
+    b.mov(r, imm(1), 1);
+    b.label("target");
+    b.halt();
+    KernelBinary bin = b.finish();
+    auto succs = bin.successors(bin.blocks[0]);
+    EXPECT_EQ(succs.size(), 2u);
+}
+
+TEST(Kernel, AppInstrCountExcludesInstrumentation)
+{
+    BasicBlock block;
+    Instruction mov;
+    mov.op = Opcode::Mov;
+    Instruction prof;
+    prof.op = Opcode::ProfCount;
+    block.instrs = {mov, prof, mov};
+    EXPECT_EQ(block.appInstrCount(), 2u);
+}
+
+// --- disassembler -------------------------------------------------------
+
+TEST(Disasm, FormatsCommonInstructions)
+{
+    KernelBuilder b("dis", 2);
+    Reg r = b.reg();
+    Reg a = b.reg();
+    b.mov(a, b.arg(0), 16);
+    b.load(r, a, 4, 16);
+    b.store(r, a, 4, 8);
+    Flag f = b.flag();
+    b.cmp(CmpOp::Lt, f, r, imm(10), 1);
+    b.brc(f, "end");
+    b.label("end");
+    b.halt();
+    KernelBinary bin = b.finish();
+    std::ostringstream os;
+    disassemble(bin, os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("mov(16)"), std::string::npos);
+    EXPECT_NE(out.find("cmp.lt"), std::string::npos);
+    EXPECT_NE(out.find("global["), std::string::npos);
+    EXPECT_NE(out.find("brc"), std::string::npos);
+    EXPECT_NE(out.find("halt"), std::string::npos);
+}
+
+TEST(Disasm, EveryOpcodeFormats)
+{
+    // disassemble() must not panic on any well-formed instruction.
+    for (int op = 0; op < numOpcodes; ++op) {
+        Instruction ins;
+        ins.op = (Opcode)op;
+        ins.simdWidth = 8;
+        ins.dst = 5;
+        ins.src0 = Operand::fromReg(6);
+        ins.src1 = Operand::fromImm(3);
+        ins.target = 0;
+        ins.send.addrReg = 7;
+        EXPECT_NO_THROW(disassemble(ins)) << opcodeName((Opcode)op);
+    }
+}
+
+} // anonymous namespace
+} // namespace gt::isa

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Cross-model consistency: the analytic timing model (the "native
+ * hardware") and the cycle-level detailed simulator are independent
+ * implementations of the same machine; for the methodology's
+ * cross-validation story to be meaningful they must agree on the
+ * *ordering* of kernels by cost and respond the same way to design
+ * changes, even though their absolute numbers differ.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gpu/detailed_sim.hh"
+#include "gpu/timing.hh"
+#include "workloads/templates.hh"
+
+namespace gt::gpu
+{
+namespace
+{
+
+struct KernelCost
+{
+    std::string name;
+    double modelSeconds = 0.0;
+    double simSeconds = 0.0;
+};
+
+class ModelConsistency : public ::testing::Test
+{
+  protected:
+    ModelConsistency()
+        : config(DeviceConfig::hd4000()), memory(32 << 20),
+          exec(config, memory)
+    {}
+
+    KernelCost
+    costOf(const std::string &tname)
+    {
+        isa::KernelSource src;
+        src.name = "mc_" + tname;
+        src.templateName = tname;
+        isa::KernelBinary bin = workloads::TemplateJit().compile(src);
+
+        Dispatch d;
+        d.binary = &bin;
+        d.globalSize = 4096;
+        d.simdWidth = 16;
+        uint32_t base = (uint32_t)memory.allocate(4 << 20);
+        d.args.assign(bin.numArgs, base);
+
+        TrialConfig trial;
+        trial.noiseSigma = 0.0;
+        TimingModel model(config, trial);
+        DetailedSimulator sim(config);
+
+        KernelCost cost;
+        cost.name = tname;
+        ExecProfile profile = exec.run(d, Executor::Mode::Fast);
+        cost.modelSeconds = model.kernelTime(profile).seconds;
+        cost.simSeconds = sim.simulate(exec, d).seconds;
+        memory.resetAllocator();
+        return cost;
+    }
+
+    DeviceConfig config;
+    DeviceMemory memory;
+    Executor exec;
+};
+
+TEST_F(ModelConsistency, KernelCostOrderingAgrees)
+{
+    std::vector<KernelCost> costs;
+    for (const char *t :
+         {"julia", "stress", "blur", "aes", "stream", "hash",
+          "reduce", "nbody"}) {
+        costs.push_back(costOf(t));
+    }
+
+    // Kendall-tau-style concordance between the two rankings.
+    int concordant = 0, discordant = 0;
+    for (size_t i = 0; i < costs.size(); ++i) {
+        for (size_t j = i + 1; j < costs.size(); ++j) {
+            double dm = costs[i].modelSeconds - costs[j].modelSeconds;
+            double ds = costs[i].simSeconds - costs[j].simSeconds;
+            if (dm * ds > 0)
+                ++concordant;
+            else
+                ++discordant;
+        }
+    }
+    double tau = (double)(concordant - discordant) /
+        (double)(concordant + discordant);
+    EXPECT_GT(tau, 0.5) << "timing model and detailed simulator "
+                            "rank kernels differently";
+}
+
+TEST_F(ModelConsistency, AbsoluteAgreementWithinAnOrderOfMagnitude)
+{
+    for (const char *t : {"julia", "blur", "aes"}) {
+        KernelCost cost = costOf(t);
+        double ratio = cost.simSeconds / cost.modelSeconds;
+        EXPECT_GT(ratio, 0.1) << t;
+        EXPECT_LT(ratio, 10.0) << t;
+    }
+}
+
+TEST_F(ModelConsistency, BothModelsPreferMoreEus)
+{
+    isa::KernelSource src;
+    src.name = "mc_eus";
+    src.templateName = "stress";
+    isa::KernelBinary bin = workloads::TemplateJit().compile(src);
+    Dispatch d;
+    d.binary = &bin;
+    d.globalSize = 1 << 16;
+    d.simdWidth = 16;
+    d.args = {(uint32_t)memory.allocate(1 << 20)};
+
+    DeviceConfig small = DeviceConfig::hd4000();
+    DeviceConfig big = small;
+    big.numEus = 32;
+
+    TrialConfig trial;
+    trial.noiseSigma = 0.0;
+    ExecProfile profile = exec.run(d, Executor::Mode::Fast);
+    TimingModel ms(small, trial), mb(big, trial);
+    EXPECT_GT(ms.kernelTime(profile).seconds,
+              mb.kernelTime(profile).seconds);
+
+    DetailedSimulator ss(small), sb(big);
+    EXPECT_GT(ss.simulate(exec, d).seconds,
+              sb.simulate(exec, d).seconds);
+}
+
+TEST_F(ModelConsistency, BothModelsSlowDownAtLowerClock)
+{
+    isa::KernelSource src;
+    src.name = "mc_freq";
+    src.templateName = "julia";
+    isa::KernelBinary bin = workloads::TemplateJit().compile(src);
+    Dispatch d;
+    d.binary = &bin;
+    d.globalSize = 1 << 14;
+    d.simdWidth = 16;
+    d.args = {(uint32_t)memory.allocate(1 << 20), 0x3f000000u,
+              0x3e000000u};
+
+    TrialConfig fast, slow;
+    fast.noiseSigma = slow.noiseSigma = 0.0;
+    fast.freqMhz = 1150.0;
+    slow.freqMhz = 350.0;
+
+    ExecProfile profile = exec.run(d, Executor::Mode::Fast);
+    TimingModel mf(config, fast), ms(config, slow);
+    EXPECT_GT(ms.kernelTime(profile).seconds,
+              mf.kernelTime(profile).seconds);
+
+    DetailedSimulator sf(config, 1150.0), ss(config, 350.0);
+    EXPECT_GT(ss.simulate(exec, d).seconds,
+              sf.simulate(exec, d).seconds);
+}
+
+} // anonymous namespace
+} // namespace gt::gpu

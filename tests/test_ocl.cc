@@ -1,0 +1,404 @@
+/**
+ * @file
+ * OpenCL-runtime tests: object lifecycle, the paper's call
+ * categorization (Section II's seven synchronization calls),
+ * asynchronous queue semantics, argument validation, and observer
+ * delivery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "ocl/runtime.hh"
+#include "workloads/templates.hh"
+
+namespace gt::ocl
+{
+namespace
+{
+
+class OclTest : public ::testing::Test
+{
+  protected:
+    OclTest()
+        : jit(), driver(gpu::DeviceConfig::hd4000(), jit),
+          rt(driver)
+    {}
+
+    /** Create a built program with one trivial stream kernel. */
+    Kernel
+    makeKernel(Context ctx, const std::string &name = "k0")
+    {
+        isa::KernelSource src;
+        src.name = name;
+        src.templateName = "stream";
+        src.params = {4, 0xff, 16};
+        Program prog = rt.createProgramWithSource(ctx, {src});
+        rt.buildProgram(prog);
+        return rt.createKernel(prog, name);
+    }
+
+    workloads::TemplateJit jit;
+    GpuDriver driver;
+    ClRuntime rt;
+};
+
+// --- categorization (Fig. 3a / Section II) ---------------------------
+
+TEST(ApiCategory, ExactlySevenSynchronizationCalls)
+{
+    int sync = 0, kernel = 0;
+    for (int i = 0; i < numApiCalls; ++i) {
+        switch (apiCategory((ApiCallId)i)) {
+          case ApiCategory::Synchronization:
+            ++sync;
+            break;
+          case ApiCategory::Kernel:
+            ++kernel;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_EQ(sync, 7);
+    EXPECT_EQ(kernel, 1);
+}
+
+TEST(ApiCategory, TheSevenArePaperList)
+{
+    for (ApiCallId id :
+         {ApiCallId::Finish, ApiCallId::Flush,
+          ApiCallId::WaitForEvents, ApiCallId::EnqueueReadBuffer,
+          ApiCallId::EnqueueReadImage, ApiCallId::EnqueueCopyBuffer,
+          ApiCallId::EnqueueCopyImageToBuffer}) {
+        EXPECT_EQ(apiCategory(id), ApiCategory::Synchronization)
+            << apiCallName(id);
+    }
+    EXPECT_EQ(apiCategory(ApiCallId::EnqueueNDRangeKernel),
+              ApiCategory::Kernel);
+    EXPECT_EQ(apiCategory(ApiCallId::SetKernelArg),
+              ApiCategory::Other);
+    EXPECT_EQ(apiCategory(ApiCallId::EnqueueWriteBuffer),
+              ApiCategory::Other);
+}
+
+TEST(ApiCategory, NamesAreClPrefixed)
+{
+    for (int i = 0; i < numApiCalls; ++i) {
+        std::string name = apiCallName((ApiCallId)i);
+        EXPECT_EQ(name.rfind("cl", 0), 0u) << name;
+    }
+}
+
+// --- lifecycle ----------------------------------------------------------
+
+TEST_F(OclTest, BasicSetupSequence)
+{
+    EXPECT_EQ(rt.getPlatformIds(), 1u);
+    EXPECT_EQ(rt.getDeviceIds(), 1u);
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Kernel k = makeKernel(ctx);
+    Mem buf = rt.createBuffer(ctx, 4096);
+    rt.setKernelArg(k, 0, buf);
+    rt.setKernelArg(k, 1, buf);
+    rt.setKernelArg(k, 2, 0x3f800000u);
+    rt.setKernelArg(k, 3, 0u);
+    rt.enqueueNDRangeKernel(q, k, 256);
+    rt.finish(q);
+    EXPECT_EQ(rt.dispatchCount(), 1u);
+    EXPECT_GT(rt.apiCallCount(), 5u);
+}
+
+TEST_F(OclTest, AsyncDispatchDefersExecution)
+{
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Kernel k = makeKernel(ctx);
+    Mem buf = rt.createBuffer(ctx, 4096);
+    rt.setKernelArg(k, 0, buf);
+    rt.setKernelArg(k, 1, buf);
+    rt.setKernelArg(k, 2, 0u);
+    rt.setKernelArg(k, 3, 0u);
+
+    rt.enqueueNDRangeKernel(q, k, 256);
+    rt.enqueueNDRangeKernel(q, k, 256);
+    // Kernels wait in the queue until a sync call aligns devices.
+    EXPECT_EQ(driver.dispatchCount(), 0u);
+    rt.finish(q);
+    EXPECT_EQ(driver.dispatchCount(), 2u);
+}
+
+/** Parameterized check: each of the seven sync calls drains. */
+class SyncDrainTest
+    : public OclTest,
+      public ::testing::WithParamInterface<int>
+{
+};
+
+TEST_P(SyncDrainTest, DrainsPendingKernels)
+{
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Kernel k = makeKernel(ctx);
+    Mem a = rt.createBuffer(ctx, 4096);
+    Mem b = rt.createBuffer(ctx, 4096);
+    Mem img = rt.createImage2D(ctx, 16, 16, 4);
+    rt.setKernelArg(k, 0, a);
+    rt.setKernelArg(k, 1, b);
+    rt.setKernelArg(k, 2, 0u);
+    rt.setKernelArg(k, 3, 0u);
+    rt.enqueueNDRangeKernel(q, k, 256);
+    EXPECT_EQ(driver.dispatchCount(), 0u);
+
+    switch (GetParam()) {
+      case 0:
+        rt.finish(q);
+        break;
+      case 1:
+        rt.flush(q);
+        break;
+      case 2:
+        rt.waitForEvents({});
+        break;
+      case 3:
+        rt.enqueueReadBuffer(q, a, 0, 64);
+        break;
+      case 4:
+        rt.enqueueReadImage(q, img);
+        break;
+      case 5:
+        rt.enqueueCopyBuffer(q, a, b, 64);
+        break;
+      case 6:
+        rt.enqueueCopyImageToBuffer(q, img, a);
+        break;
+    }
+    EXPECT_EQ(driver.dispatchCount(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSevenSyncCalls, SyncDrainTest,
+                         ::testing::Range(0, 7));
+
+TEST_F(OclTest, WriteAndReadBufferRoundTrip)
+{
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Mem buf = rt.createBuffer(ctx, 256);
+    std::vector<uint8_t> data{1, 2, 3, 4, 5};
+    rt.enqueueWriteBuffer(q, buf, 16, data);
+    std::vector<uint8_t> back = rt.enqueueReadBuffer(q, buf, 16, 5);
+    EXPECT_EQ(back, data);
+}
+
+TEST_F(OclTest, FillBufferWritesPattern)
+{
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Mem buf = rt.createBuffer(ctx, 64);
+    rt.enqueueFillBuffer(q, buf, 0xdeadbeefu, 0, 64);
+    std::vector<uint8_t> back = rt.enqueueReadBuffer(q, buf, 0, 8);
+    EXPECT_EQ(back[0], 0xef);
+    EXPECT_EQ(back[3], 0xde);
+    EXPECT_EQ(back[4], 0xef);
+}
+
+TEST_F(OclTest, CopyBufferMovesData)
+{
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Mem a = rt.createBuffer(ctx, 64);
+    Mem b = rt.createBuffer(ctx, 64);
+    rt.enqueueFillBuffer(q, a, 0x11111111u, 0, 64);
+    rt.enqueueCopyBuffer(q, a, b, 64);
+    std::vector<uint8_t> back = rt.enqueueReadBuffer(q, b, 0, 4);
+    EXPECT_EQ(back[0], 0x11);
+}
+
+// --- validation ---------------------------------------------------------
+
+TEST_F(OclTest, MissingArgumentPanicsAtEnqueue)
+{
+    setLogQuiet(true);
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Kernel k = makeKernel(ctx);
+    rt.setKernelArg(k, 0, 0u);
+    // args 1 and 2 never set
+    EXPECT_THROW(rt.enqueueNDRangeKernel(q, k, 256), PanicError);
+    setLogQuiet(false);
+}
+
+TEST_F(OclTest, ArgIndexOutOfRangePanics)
+{
+    setLogQuiet(true);
+    Context ctx = rt.createContext();
+    Kernel k = makeKernel(ctx);
+    EXPECT_THROW(rt.setKernelArg(k, 99, 0u), PanicError);
+    setLogQuiet(false);
+}
+
+TEST_F(OclTest, UnknownKernelNameFatal)
+{
+    setLogQuiet(true);
+    Context ctx = rt.createContext();
+    isa::KernelSource src;
+    src.name = "real";
+    src.templateName = "stream";
+    Program prog = rt.createProgramWithSource(ctx, {src});
+    rt.buildProgram(prog);
+    EXPECT_THROW(rt.createKernel(prog, "imaginary"), FatalError);
+    setLogQuiet(false);
+}
+
+TEST_F(OclTest, CreateKernelBeforeBuildPanics)
+{
+    setLogQuiet(true);
+    Context ctx = rt.createContext();
+    isa::KernelSource src;
+    src.name = "k";
+    src.templateName = "stream";
+    Program prog = rt.createProgramWithSource(ctx, {src});
+    EXPECT_THROW(rt.createKernel(prog, "k"), PanicError);
+    setLogQuiet(false);
+}
+
+TEST_F(OclTest, OutOfBoundsReadPanics)
+{
+    setLogQuiet(true);
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Mem buf = rt.createBuffer(ctx, 64);
+    EXPECT_THROW(rt.enqueueReadBuffer(q, buf, 32, 64), PanicError);
+    setLogQuiet(false);
+}
+
+TEST_F(OclTest, UseAfterReleasePanics)
+{
+    setLogQuiet(true);
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Mem buf = rt.createBuffer(ctx, 64);
+    rt.releaseMemObject(buf);
+    EXPECT_THROW(rt.enqueueReadBuffer(q, buf, 0, 8), PanicError);
+    setLogQuiet(false);
+}
+
+// --- observers and events -----------------------------------------------
+
+class CountingObserver : public ApiObserver
+{
+  public:
+    void
+    onApiCall(const ApiCallRecord &rec) override
+    {
+        ++calls;
+        last = rec;
+    }
+    void
+    onDispatchExecuted(const DispatchResult &result) override
+    {
+        ++dispatches;
+        lastResult = result;
+    }
+    uint64_t calls = 0;
+    uint64_t dispatches = 0;
+    ApiCallRecord last;
+    DispatchResult lastResult;
+};
+
+TEST_F(OclTest, ObserverSeesEveryCallAndDispatch)
+{
+    CountingObserver obs;
+    rt.addObserver(&obs);
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Kernel k = makeKernel(ctx);
+    Mem buf = rt.createBuffer(ctx, 4096);
+    rt.setKernelArg(k, 0, buf);
+    rt.setKernelArg(k, 1, buf);
+    rt.setKernelArg(k, 2, 0u);
+    rt.setKernelArg(k, 3, 0u);
+    rt.enqueueNDRangeKernel(q, k, 256);
+    rt.finish(q);
+
+    EXPECT_EQ(obs.calls, rt.apiCallCount());
+    EXPECT_EQ(obs.dispatches, 1u);
+    EXPECT_EQ(obs.lastResult.kernelName, "k0");
+    EXPECT_EQ(obs.lastResult.globalSize, 256u);
+    EXPECT_GT(obs.lastResult.profile.dynInstrs, 0u);
+    EXPECT_GT(obs.lastResult.time.seconds, 0.0);
+
+    rt.removeObserver(&obs);
+    uint64_t before = obs.calls;
+    rt.getPlatformIds();
+    EXPECT_EQ(obs.calls, before);
+}
+
+TEST_F(OclTest, DispatchRecordsCarryGwsAndArgsHash)
+{
+    CountingObserver obs;
+    rt.addObserver(&obs);
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Kernel k = makeKernel(ctx);
+    Mem buf = rt.createBuffer(ctx, 4096);
+    rt.setKernelArg(k, 0, buf);
+    rt.setKernelArg(k, 1, buf);
+    rt.setKernelArg(k, 2, 7u);
+    rt.setKernelArg(k, 3, 0u);
+    rt.enqueueNDRangeKernel(q, k, 512);
+    ApiCallRecord enq = obs.last;
+    EXPECT_EQ(enq.id, ApiCallId::EnqueueNDRangeKernel);
+    EXPECT_EQ(enq.globalWorkSize, 512u);
+    uint64_t h1 = enq.argsHash;
+
+    rt.setKernelArg(k, 2, 8u);
+    rt.enqueueNDRangeKernel(q, k, 512);
+    EXPECT_NE(obs.last.argsHash, h1);
+    rt.finish(q);
+}
+
+TEST_F(OclTest, EventProfilingReturnsKernelTime)
+{
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Kernel k = makeKernel(ctx);
+    Mem buf = rt.createBuffer(ctx, 4096);
+    rt.setKernelArg(k, 0, buf);
+    rt.setKernelArg(k, 1, buf);
+    rt.setKernelArg(k, 2, 0u);
+    rt.setKernelArg(k, 3, 0u);
+    Event ev = rt.enqueueNDRangeKernel(q, k, 256);
+    EXPECT_EQ(rt.getEventProfilingInfo(ev), 0.0); // not yet run
+    rt.finish(q);
+    EXPECT_GT(rt.getEventProfilingInfo(ev), 0.0);
+}
+
+TEST_F(OclTest, TimelineAdvances)
+{
+    Context ctx = rt.createContext();
+    CommandQueue q = rt.createCommandQueue(ctx);
+    Kernel k = makeKernel(ctx);
+    Mem buf = rt.createBuffer(ctx, 4096);
+    rt.setKernelArg(k, 0, buf);
+    rt.setKernelArg(k, 1, buf);
+    rt.setKernelArg(k, 2, 0u);
+    rt.setKernelArg(k, 3, 0u);
+    double t0 = rt.deviceTimelineSeconds();
+    rt.enqueueNDRangeKernel(q, k, 4096);
+    rt.finish(q);
+    EXPECT_GT(rt.deviceTimelineSeconds(), t0);
+}
+
+TEST_F(OclTest, BufferAddressesAreStable)
+{
+    Context ctx = rt.createContext();
+    Mem a = rt.createBuffer(ctx, 100);
+    Mem b = rt.createBuffer(ctx, 100);
+    EXPECT_NE(rt.bufferAddress(a), rt.bufferAddress(b));
+    EXPECT_EQ(rt.bufferSize(a), 100u);
+}
+
+} // anonymous namespace
+} // namespace gt::ocl

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Subset-selection and SPI-projection tests (Section V, Eq. 1): the
+ * end-to-end pipeline on real applications, projection correctness,
+ * the 30-configuration explorer, and the two selection policies —
+ * parameterized where the property holds for every configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/pipeline.hh"
+
+namespace gt::core
+{
+namespace
+{
+
+/** One shared profile per app (profiling is the expensive step). */
+const ProfiledApp &
+profiled(const std::string &name)
+{
+    static std::map<std::string, ProfiledApp> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        GT_ASSERT(w, "unknown workload ", name);
+        it = cache.emplace(name, profileApp(*w)).first;
+    }
+    return it->second;
+}
+
+using Config = std::pair<IntervalScheme, FeatureKind>;
+
+class ConfigTest : public ::testing::TestWithParam<Config>
+{
+};
+
+TEST_P(ConfigTest, SelectionInvariants)
+{
+    const ProfiledApp &app = profiled("cb-histogram-buffer");
+    SubsetSelection sel = selectSubset(
+        app.db, GetParam().first, GetParam().second);
+
+    EXPECT_EQ(sel.scheme, GetParam().first);
+    EXPECT_EQ(sel.feature, GetParam().second);
+    ASSERT_FALSE(sel.selected.empty());
+    EXPECT_LE(sel.selected.size(), 10u); // the paper's max clusters
+    ASSERT_EQ(sel.selected.size(), sel.ratios.size());
+
+    double ratio_sum = 0.0;
+    for (size_t c = 0; c < sel.selected.size(); ++c) {
+        EXPECT_LT(sel.selected[c], sel.intervals.size());
+        EXPECT_GT(sel.ratios[c], 0.0);
+        ratio_sum += sel.ratios[c];
+    }
+    EXPECT_NEAR(ratio_sum, 1.0, 1e-9);
+
+    EXPECT_EQ(sel.totalInstrs, app.db.totalInstrs());
+    EXPECT_GT(sel.selectedInstrs, 0u);
+    EXPECT_LE(sel.selectedInstrs, sel.totalInstrs);
+    EXPECT_GT(sel.selectionFraction(), 0.0);
+    EXPECT_LE(sel.selectionFraction(), 1.0);
+    EXPECT_GE(sel.speedup(), 1.0);
+
+    // Projection is finite and positive; error is a percentage.
+    double proj = projectedSpi(app.db, sel);
+    EXPECT_GT(proj, 0.0);
+    double err = selectionErrorPct(app.db, sel);
+    EXPECT_GE(err, 0.0);
+    EXPECT_LT(err, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All30Configs, ConfigTest, ::testing::ValuesIn([] {
+        std::vector<Config> configs;
+        for (int s = 0; s < numIntervalSchemes; ++s) {
+            for (int f = 0; f < numFeatureKinds; ++f)
+                configs.emplace_back((IntervalScheme)s,
+                                     (FeatureKind)f);
+        }
+        return configs;
+    }()),
+    [](const auto &info) {
+        std::string s =
+            std::string(intervalSchemeName(info.param.first)) +
+            "_" + featureKindName(info.param.second);
+        std::string out;
+        for (char c : s)
+            out += std::isalnum((unsigned char)c) ? c : '_';
+        return out;
+    });
+
+TEST(Selection, SelectingEveryIntervalIsErrorFree)
+{
+    // If every interval is its own cluster, the projection is the
+    // exact instruction-weighted SPI decomposition.
+    const ProfiledApp &app = profiled("cb-gaussian-image");
+    SubsetSelection sel;
+    sel.scheme = IntervalScheme::SingleKernel;
+    sel.feature = FeatureKind::BB;
+    sel.intervals =
+        buildIntervals(app.db, IntervalScheme::SingleKernel);
+    sel.totalInstrs = app.db.totalInstrs();
+    for (uint64_t i = 0; i < sel.intervals.size(); ++i) {
+        sel.selected.push_back(i);
+        sel.ratios.push_back((double)sel.intervals[i].instrs /
+                             (double)app.db.totalInstrs());
+        sel.selectedInstrs += sel.intervals[i].instrs;
+    }
+    EXPECT_LT(selectionErrorPct(app.db, sel), 1e-6);
+}
+
+TEST(Selection, ReasonableErrorOnRealApplication)
+{
+    // The headline property: a <=10-interval subset predicts whole
+    // program SPI within a few percent.
+    const ProfiledApp &app = profiled("cb-histogram-buffer");
+    SubsetSelection sel =
+        selectSubset(app.db, IntervalScheme::SyncBounded,
+                     FeatureKind::BB);
+    EXPECT_LT(selectionErrorPct(app.db, sel), 10.0);
+    EXPECT_GT(sel.speedup(), 2.0);
+}
+
+TEST(Selection, CrossTrialProjection)
+{
+    // Selections from trial 1 evaluated against a replayed trial 2
+    // (different noise seed): the paper's Fig. 8 top plot.
+    const ProfiledApp &app = profiled("cb-gaussian-image");
+    SubsetSelection sel =
+        selectSubset(app.db, IntervalScheme::SyncBounded,
+                     FeatureKind::BB);
+    gpu::TrialConfig trial2;
+    trial2.noiseSeed = 999;
+    TraceDatabase db2 = replayTrial(
+        app.recording, gpu::DeviceConfig::hd4000(), trial2);
+
+    EXPECT_EQ(db2.numDispatches(), app.db.numDispatches());
+    // Counts are deterministic across trials.
+    EXPECT_EQ(db2.totalInstrs(), app.db.totalInstrs());
+    double err = selectionErrorPct(db2, sel);
+    EXPECT_LT(err, 10.0);
+}
+
+TEST(Selection, SelectionTooLargeForTrialPanics)
+{
+    setLogQuiet(true);
+    const ProfiledApp &app = profiled("cb-gaussian-image");
+    SubsetSelection sel =
+        selectSubset(app.db, IntervalScheme::SingleKernel,
+                     FeatureKind::KN);
+    // Corrupt the selection to reference dispatches out of range.
+    sel.intervals.back().lastDispatch = 1 << 30;
+    sel.selected = {sel.intervals.size() - 1};
+    sel.ratios = {1.0};
+    EXPECT_THROW(projectedSpi(app.db, sel), PanicError);
+    setLogQuiet(false);
+}
+
+// --- explorer -------------------------------------------------------
+
+TEST(Explorer, EvaluatesAll30Configurations)
+{
+    const ProfiledApp &app = profiled("cb-gaussian-image");
+    Exploration ex = exploreConfigs(app.db);
+    EXPECT_EQ(ex.results.size(), 30u);
+    // Every (scheme, feature) pair appears exactly once.
+    for (int s = 0; s < numIntervalSchemes; ++s) {
+        for (int f = 0; f < numFeatureKinds; ++f) {
+            const ConfigResult &r =
+                ex.result((IntervalScheme)s, (FeatureKind)f);
+            EXPECT_EQ(r.selection.scheme, (IntervalScheme)s);
+            EXPECT_EQ(r.selection.feature, (FeatureKind)f);
+            EXPECT_GE(r.errorPct, 0.0);
+        }
+    }
+}
+
+TEST(Explorer, MinErrorPolicyIsMinimal)
+{
+    const ProfiledApp &app = profiled("cb-gaussian-image");
+    Exploration ex = exploreConfigs(app.db);
+    const ConfigResult &best = pickMinError(ex);
+    for (const ConfigResult &r : ex.results)
+        EXPECT_LE(best.errorPct, r.errorPct);
+}
+
+TEST(Explorer, CoOptimizedRespectsThreshold)
+{
+    const ProfiledApp &app = profiled("cb-gaussian-image");
+    Exploration ex = exploreConfigs(app.db);
+    const ConfigResult &best = pickMinError(ex);
+
+    for (double threshold : {0.5, 1.0, 3.0, 10.0}) {
+        const ConfigResult &chosen =
+            pickCoOptimized(ex, threshold);
+        if (chosen.errorPct > threshold) {
+            // Fallback: must be the error-minimizing config.
+            EXPECT_DOUBLE_EQ(chosen.errorPct, best.errorPct);
+        } else {
+            // Among qualifying configs, none is smaller.
+            for (const ConfigResult &r : ex.results) {
+                if (r.errorPct <= threshold) {
+                    EXPECT_LE(
+                        chosen.selection.selectionFraction(),
+                        r.selection.selectionFraction() + 1e-12);
+                }
+            }
+        }
+    }
+}
+
+TEST(Explorer, RelaxedThresholdsNeverSlowSimulation)
+{
+    const ProfiledApp &app = profiled("cb-histogram-buffer");
+    Exploration ex = exploreConfigs(app.db);
+    double prev_fraction = 2.0;
+    for (double threshold : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+        const ConfigResult &chosen =
+            pickCoOptimized(ex, threshold);
+        if (chosen.errorPct <= threshold) {
+            // Qualifying selections shrink (weakly) as the
+            // threshold relaxes — the monotonicity behind Fig. 7.
+            EXPECT_LE(chosen.selection.selectionFraction(),
+                      prev_fraction + 1e-12);
+            prev_fraction = chosen.selection.selectionFraction();
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace gt::core

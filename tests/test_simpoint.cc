@@ -1,0 +1,256 @@
+/**
+ * @file
+ * SimPoint-clustering tests: random projection, weighted k-means
+ * recovery of separable populations, BIC model selection, and
+ * representative/ratio invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/logging.hh"
+#include "core/simpoint.hh"
+
+namespace gt::core::simpoint
+{
+namespace
+{
+
+FeatureVector
+vectorAround(Rng &rng, uint64_t base_key, double jitter)
+{
+    FeatureVector v;
+    for (uint64_t k = 0; k < 8; ++k) {
+        double value = 1.0 + (double)((base_key + k) % 5) +
+            rng.nextGaussian(0.0, jitter);
+        v.add(base_key * 100 + k, std::abs(value) + 0.01);
+    }
+    v.normalize();
+    return v;
+}
+
+TEST(Projection, DeterministicAndSeparating)
+{
+    Rng rng(1);
+    FeatureVector a = vectorAround(rng, 1, 0.0);
+    FeatureVector b = vectorAround(rng, 2, 0.0);
+    Point pa1 = project(a);
+    Point pa2 = project(a);
+    Point pb = project(b);
+    EXPECT_EQ(pa1, pa2);
+    double d = 0.0;
+    for (int i = 0; i < projectedDims; ++i)
+        d += (pa1[i] - pb[i]) * (pa1[i] - pb[i]);
+    EXPECT_GT(d, 1e-6);
+}
+
+TEST(Projection, LinearInTheInput)
+{
+    FeatureVector v;
+    v.add(7, 2.0);
+    v.add(9, 3.0);
+    FeatureVector v2;
+    v2.add(7, 4.0);
+    v2.add(9, 6.0);
+    Point p = project(v);
+    Point p2 = project(v2);
+    for (int i = 0; i < projectedDims; ++i)
+        EXPECT_NEAR(p2[i], 2.0 * p[i], 1e-12);
+}
+
+TEST(Cluster, RecoversWellSeparatedGroups)
+{
+    Rng rng(7);
+    std::vector<FeatureVector> vectors;
+    std::vector<double> weights;
+    std::vector<int> truth;
+    for (int g = 0; g < 3; ++g) {
+        for (int i = 0; i < 30; ++i) {
+            vectors.push_back(
+                vectorAround(rng, (uint64_t)g + 1, 0.01));
+            weights.push_back(100.0);
+            truth.push_back(g);
+        }
+    }
+
+    Clustering c = cluster(vectors, weights);
+    EXPECT_GE(c.k, 3);
+    // Same-group points share clusters; cross-group points do not.
+    for (size_t i = 0; i < vectors.size(); ++i) {
+        for (size_t j = i + 1; j < vectors.size(); ++j) {
+            if (truth[i] == truth[j]) {
+                EXPECT_EQ(c.assignment[i], c.assignment[j]);
+            } else {
+                EXPECT_NE(c.assignment[i], c.assignment[j]);
+            }
+        }
+    }
+}
+
+TEST(Cluster, RespectsMaxK)
+{
+    Rng rng(11);
+    std::vector<FeatureVector> vectors;
+    std::vector<double> weights;
+    // 20 well-separated groups but maxK = 10.
+    for (int g = 0; g < 20; ++g) {
+        for (int i = 0; i < 4; ++i) {
+            vectors.push_back(
+                vectorAround(rng, (uint64_t)g + 1, 0.005));
+            weights.push_back(1.0);
+        }
+    }
+    ClusterOptions opts;
+    opts.maxK = 10;
+    Clustering c = cluster(vectors, weights, opts);
+    EXPECT_LE(c.k, 10);
+    EXPECT_GE(c.k, 2);
+}
+
+TEST(Cluster, IdenticalPointsYieldOneCluster)
+{
+    FeatureVector v;
+    v.add(1, 0.5);
+    v.add(2, 0.5);
+    std::vector<FeatureVector> vectors(50, v);
+    std::vector<double> weights(50, 10.0);
+    Clustering c = cluster(vectors, weights);
+    // BIC prefers the simplest model for indistinguishable points.
+    EXPECT_EQ(c.k, 1);
+    EXPECT_NEAR(c.weight[0], 1.0, 1e-12);
+}
+
+TEST(Cluster, SinglePoint)
+{
+    FeatureVector v;
+    v.add(1, 1.0);
+    Clustering c = cluster({v}, {5.0});
+    EXPECT_EQ(c.k, 1);
+    EXPECT_EQ(c.representative[0], 0u);
+    EXPECT_DOUBLE_EQ(c.weight[0], 1.0);
+}
+
+TEST(Cluster, RatiosArePartitionOfWeight)
+{
+    Rng rng(13);
+    std::vector<FeatureVector> vectors;
+    std::vector<double> weights;
+    for (int g = 0; g < 4; ++g) {
+        for (int i = 0; i < 10; ++i) {
+            vectors.push_back(
+                vectorAround(rng, (uint64_t)g + 1, 0.02));
+            weights.push_back((double)(g + 1));
+        }
+    }
+    Clustering c = cluster(vectors, weights);
+    double sum = 0.0;
+    for (double w : c.weight) {
+        EXPECT_GT(w, 0.0);
+        sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // Representatives are valid indices assigned to their clusters.
+    ASSERT_EQ(c.representative.size(), (size_t)c.k);
+    for (int cl = 0; cl < c.k; ++cl) {
+        uint64_t rep = c.representative[(size_t)cl];
+        ASSERT_LT(rep, vectors.size());
+        EXPECT_EQ(c.assignment[rep], cl);
+    }
+}
+
+TEST(Cluster, WeightsInfluenceRatios)
+{
+    Rng rng(17);
+    std::vector<FeatureVector> vectors;
+    std::vector<double> weights;
+    // Group 0 carries 9x the weight of group 1.
+    for (int i = 0; i < 20; ++i) {
+        vectors.push_back(vectorAround(rng, 1, 0.01));
+        weights.push_back(9.0);
+    }
+    for (int i = 0; i < 20; ++i) {
+        vectors.push_back(vectorAround(rng, 2, 0.01));
+        weights.push_back(1.0);
+    }
+    Clustering c = cluster(vectors, weights);
+    ASSERT_GE(c.k, 2);
+    // One cluster's ratio is ~0.9.
+    double max_w = 0.0;
+    for (double w : c.weight)
+        max_w = std::max(max_w, w);
+    EXPECT_NEAR(max_w, 0.9, 0.05);
+}
+
+TEST(Cluster, DeterministicForSameSeed)
+{
+    Rng rng(19);
+    std::vector<FeatureVector> vectors;
+    std::vector<double> weights;
+    for (int i = 0; i < 60; ++i) {
+        vectors.push_back(
+            vectorAround(rng, (uint64_t)(i % 5) + 1, 0.05));
+        weights.push_back(1.0 + i);
+    }
+    Clustering a = cluster(vectors, weights);
+    Clustering b = cluster(vectors, weights);
+    EXPECT_EQ(a.k, b.k);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_EQ(a.representative, b.representative);
+}
+
+TEST(Cluster, SeedChangesAreTolerated)
+{
+    Rng rng(23);
+    std::vector<FeatureVector> vectors;
+    std::vector<double> weights;
+    for (int g = 0; g < 3; ++g) {
+        for (int i = 0; i < 15; ++i) {
+            vectors.push_back(
+                vectorAround(rng, (uint64_t)g + 1, 0.01));
+            weights.push_back(1.0);
+        }
+    }
+    ClusterOptions o1, o2;
+    o1.seed = 111;
+    o2.seed = 222;
+    Clustering a = cluster(vectors, weights, o1);
+    Clustering b = cluster(vectors, weights, o2);
+    // Different seeds may relabel clusters but must find the same
+    // structure for clean data.
+    EXPECT_EQ(a.k, b.k);
+}
+
+TEST(Cluster, GuardsBadInput)
+{
+    setLogQuiet(true);
+    FeatureVector v;
+    v.add(1, 1.0);
+    EXPECT_THROW(cluster({}, {}), PanicError);
+    EXPECT_THROW(cluster({v}, {}), PanicError);
+    EXPECT_THROW(cluster({v}, {0.0}), PanicError);
+    EXPECT_THROW(cluster({v}, {-1.0}), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Cluster, MoreClustersForMoreStructure)
+{
+    // A population with 6 genuinely distinct behaviours should earn
+    // more clusters than a homogeneous one of the same size.
+    Rng rng(29);
+    std::vector<FeatureVector> varied, uniform;
+    std::vector<double> weights;
+    for (int i = 0; i < 60; ++i) {
+        varied.push_back(
+            vectorAround(rng, (uint64_t)(i % 6) + 1, 0.01));
+        uniform.push_back(vectorAround(rng, 1, 0.01));
+        weights.push_back(1.0);
+    }
+    Clustering cv = cluster(varied, weights);
+    Clustering cu = cluster(uniform, weights);
+    EXPECT_GT(cv.k, cu.k);
+}
+
+} // anonymous namespace
+} // namespace gt::core::simpoint

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the control-relevance (backward slice) analysis that
+ * powers the executor's fast mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+#include "isa/slice.hh"
+
+namespace gt::isa
+{
+namespace
+{
+
+/** Count relevant instructions of a given opcode. */
+uint64_t
+relevantOf(const KernelBinary &bin, const Relevance &rel, Opcode op)
+{
+    uint64_t n = 0;
+    for (const auto &block : bin.blocks) {
+        for (uint32_t i = 0; i < block.instrs.size(); ++i) {
+            if (block.instrs[i].op == op &&
+                rel.relevant[block.id][i]) {
+                ++n;
+            }
+        }
+    }
+    return n;
+}
+
+TEST(Slice, LoopCounterChainIsRelevant)
+{
+    KernelBuilder b("k", 0);
+    Reg c = b.reg(), x = b.reg();
+    b.mov(x, imm(0), 16);
+    b.beginLoop(c, imm(10));
+    b.fmad(x, x, x, x, 16);
+    b.endLoop();
+    b.halt();
+    KernelBinary bin = b.finish();
+
+    Relevance rel = analyzeRelevance(bin);
+    EXPECT_FALSE(rel.needsFullExec);
+    EXPECT_FALSE(rel.threadDependent);
+    // Loop add, cmp, brc and init mov of the counter are relevant.
+    EXPECT_EQ(relevantOf(bin, rel, Opcode::Cmp), 1u);
+    EXPECT_EQ(relevantOf(bin, rel, Opcode::Brc), 1u);
+    EXPECT_GE(relevantOf(bin, rel, Opcode::Add), 1u);
+    // The fmad body is dead to control flow.
+    EXPECT_EQ(relevantOf(bin, rel, Opcode::FMad), 0u);
+    EXPECT_LT(rel.relevantCount, rel.totalCount);
+}
+
+TEST(Slice, PureComputeKernelHasMinimalSlice)
+{
+    KernelBuilder b("compute", 1);
+    Reg x = b.reg(), a = b.reg();
+    b.mov(x, imm(1), 16);
+    for (int i = 0; i < 20; ++i)
+        b.fmul(x, x, x, 16);
+    b.and_(a, b.globalIds(), imm(0xff), 16);
+    b.shl(a, a, imm(2), 16);
+    b.add(a, a, b.arg(0), 16);
+    b.store(x, a, 4, 16);
+    b.halt();
+    KernelBinary bin = b.finish();
+
+    Relevance rel = analyzeRelevance(bin);
+    EXPECT_FALSE(rel.needsFullExec);
+    // Only halt is control; stores are not executed in fast mode.
+    EXPECT_EQ(relevantOf(bin, rel, Opcode::FMul), 0u);
+    EXPECT_EQ(relevantOf(bin, rel, Opcode::Send), 0u);
+}
+
+TEST(Slice, DataDependentControlNeedsFullExec)
+{
+    KernelBuilder b("datadep", 1);
+    Reg a = b.reg(), v = b.reg();
+    b.mov(a, b.arg(0), 1);
+    b.load(v, a, 4, 1);
+    Flag f = b.flag();
+    b.cmp(CmpOp::Lt, f, v, imm(100), 1);
+    b.brc(f, "end");
+    b.label("end");
+    b.halt();
+    KernelBinary bin = b.finish();
+
+    Relevance rel = analyzeRelevance(bin);
+    EXPECT_TRUE(rel.needsFullExec);
+}
+
+TEST(Slice, ThreadDependentControlDetected)
+{
+    KernelBuilder b("tdep", 0);
+    Reg t = b.reg();
+    b.and_(t, b.globalIds(), imm(1), 1);
+    Flag f = b.flag();
+    b.cmp(CmpOp::Eq, f, t, imm(0), 1);
+    b.brc(f, "end");
+    b.label("end");
+    b.halt();
+    KernelBinary bin = b.finish();
+
+    Relevance rel = analyzeRelevance(bin);
+    EXPECT_TRUE(rel.threadDependent);
+    EXPECT_FALSE(rel.needsFullExec);
+}
+
+TEST(Slice, ArgDrivenControlIsThreadInvariant)
+{
+    KernelBuilder b("argdep", 1);
+    Reg c = b.reg();
+    b.beginLoop(c, b.arg(0));
+    Reg x = b.reg();
+    b.add(x, x, imm(1), 8);
+    b.endLoop();
+    b.halt();
+    KernelBinary bin = b.finish();
+
+    Relevance rel = analyzeRelevance(bin);
+    EXPECT_FALSE(rel.threadDependent);
+    EXPECT_FALSE(rel.needsFullExec);
+}
+
+TEST(Slice, InstrumentationAlwaysRelevant)
+{
+    KernelBuilder b("prof", 0);
+    Reg x = b.reg();
+    b.mov(x, imm(1), 16);
+    b.halt();
+    KernelBinary bin = b.finish();
+    // Inject a counter by hand.
+    Instruction prof;
+    prof.op = Opcode::ProfCount;
+    prof.simdWidth = 1;
+    prof.profSlot = 0;
+    prof.profArg = 1;
+    bin.blocks[0].instrs.insert(bin.blocks[0].instrs.begin(), prof);
+
+    Relevance rel = analyzeRelevance(bin);
+    EXPECT_EQ(relevantOf(bin, rel, Opcode::ProfCount), 1u);
+}
+
+TEST(Slice, ProfAddPullsItsSourceIntoTheSlice)
+{
+    KernelBuilder b("profadd", 0);
+    Reg x = b.reg();
+    b.mul(x, imm(3), imm(5), 1);
+    b.halt();
+    KernelBinary bin = b.finish();
+    Instruction prof;
+    prof.op = Opcode::ProfAdd;
+    prof.simdWidth = 1;
+    prof.profSlot = 0;
+    prof.src0 = Operand::fromReg(x.idx);
+    bin.blocks[0].instrs.insert(bin.blocks[0].instrs.begin() + 1,
+                                prof);
+
+    Relevance rel = analyzeRelevance(bin);
+    EXPECT_EQ(relevantOf(bin, rel, Opcode::Mul), 1u);
+}
+
+TEST(Slice, CountsAreConsistent)
+{
+    KernelBuilder b("counts", 2);
+    Reg c = b.reg(), acc = b.reg(), a = b.reg(), v = b.reg();
+    b.beginLoop(c, imm(100));
+    b.and_(a, b.globalIds(), imm(0xff), 16);
+    b.shl(a, a, imm(2), 16);
+    b.add(a, a, b.arg(0), 16);
+    b.load(v, a, 4, 16);
+    b.fmad(acc, v, v, acc, 16);
+    b.endLoop();
+    b.and_(a, b.globalIds(), imm(0xff), 16);
+    b.shl(a, a, imm(2), 16);
+    b.add(a, a, b.arg(1), 16);
+    b.store(acc, a, 4, 16);
+    b.halt();
+    KernelBinary bin = b.finish();
+
+    Relevance rel = analyzeRelevance(bin);
+    EXPECT_EQ(rel.totalCount, bin.staticInstrCount());
+    uint64_t counted = 0;
+    for (const auto &flags : rel.relevant) {
+        for (bool f : flags)
+            counted += f;
+    }
+    EXPECT_EQ(counted, rel.relevantCount);
+    EXPECT_GT(rel.relevantCount, 0u);
+    EXPECT_LT(rel.relevantCount, rel.totalCount);
+}
+
+} // anonymous namespace
+} // namespace gt::isa

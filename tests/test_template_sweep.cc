@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Property sweep across the kernel-template library: for every
+ * template and a grid of leading-parameter values, the instantiated
+ * binary must verify, and the executor's Fast mode must produce
+ * bit-identical profiles to Full mode (the soundness property the
+ * whole profiling pipeline rests on). Also sweeps dispatch SIMD
+ * widths and checks dynamic counts respond monotonically to the
+ * work parameter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "gpu/executor.hh"
+#include "workloads/templates.hh"
+
+namespace gt::workloads
+{
+namespace
+{
+
+using Param = std::tuple<std::string, int64_t>;
+
+class TemplateSweep : public ::testing::TestWithParam<Param>
+{
+  protected:
+    TemplateSweep()
+        : config(gpu::DeviceConfig::hd4000()), memory(16 << 20),
+          exec(config, memory)
+    {}
+
+    isa::KernelBinary
+    make(int64_t leading)
+    {
+        isa::KernelSource src;
+        src.name = "sweep";
+        src.templateName = std::get<0>(GetParam());
+        src.params = {leading};
+        return TemplateJit().compile(src);
+    }
+
+    gpu::Dispatch
+    dispatchFor(const isa::KernelBinary &bin, uint8_t simd)
+    {
+        gpu::Dispatch d;
+        d.binary = &bin;
+        d.globalSize = 64;
+        d.simdWidth = simd;
+        uint32_t base = (uint32_t)memory.allocate(4 << 20);
+        d.args.assign(bin.numArgs, base);
+        return d;
+    }
+
+    gpu::DeviceConfig config;
+    gpu::DeviceMemory memory;
+    gpu::Executor exec;
+};
+
+TEST_P(TemplateSweep, VerifiesAndFastEqualsFull)
+{
+    isa::KernelBinary bin = make(std::get<1>(GetParam()));
+    EXPECT_NO_THROW(isa::verify(bin));
+
+    for (uint8_t simd : {(uint8_t)8, (uint8_t)16}) {
+        gpu::Dispatch d = dispatchFor(bin, simd);
+        gpu::ExecProfile fast =
+            exec.run(d, gpu::Executor::Mode::Fast);
+        gpu::ExecProfile full =
+            exec.run(d, gpu::Executor::Mode::Full);
+
+        EXPECT_EQ(fast.dynInstrs, full.dynInstrs)
+            << "simd " << (int)simd;
+        EXPECT_EQ(fast.blockCounts, full.blockCounts);
+        EXPECT_EQ(fast.opcodeCounts, full.opcodeCounts);
+        EXPECT_EQ(fast.bytesRead, full.bytesRead);
+        EXPECT_EQ(fast.bytesWritten, full.bytesWritten);
+        EXPECT_EQ(fast.simdCounts, full.simdCounts);
+        EXPECT_DOUBLE_EQ(fast.threadCycles, full.threadCycles);
+        memory.resetAllocator();
+    }
+}
+
+TEST_P(TemplateSweep, WorkParameterIsMonotone)
+{
+    // More trips/rounds/stages must never shrink the dynamic
+    // instruction count.
+    isa::KernelBinary small = make(2);
+    isa::KernelBinary large = make(std::get<1>(GetParam()) + 4);
+
+    gpu::Dispatch ds = dispatchFor(small, 16);
+    gpu::ExecProfile ps = exec.run(ds, gpu::Executor::Mode::Fast);
+    memory.resetAllocator();
+    gpu::Dispatch dl = dispatchFor(large, 16);
+    gpu::ExecProfile pl = exec.run(dl, gpu::Executor::Mode::Fast);
+
+    EXPECT_GE(pl.dynInstrs, ps.dynInstrs);
+    EXPECT_GT(ps.dynInstrs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemplatesAndParams, TemplateSweep, ::testing::ValuesIn([] {
+        std::vector<Param> params;
+        for (const std::string &name :
+             builtinTemplates().templateNames()) {
+            for (int64_t leading : {1, 4, 9})
+                params.emplace_back(name, leading);
+        }
+        return params;
+    }()),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+            std::to_string(std::get<1>(info.param));
+    });
+
+} // anonymous namespace
+} // namespace gt::workloads

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Timing-model tests: roofline behaviour, frequency and EU scaling
+ * (the mechanisms behind the paper's Fig. 8 validations), noise
+ * determinism, and the LuxMark-style score calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "gpu/luxmark.hh"
+#include "gpu/timing.hh"
+
+namespace gt::gpu
+{
+namespace
+{
+
+ExecProfile
+computeBoundProfile()
+{
+    ExecProfile p;
+    p.numThreads = 4096;
+    p.dynInstrs = 1'000'000'000;
+    p.threadCycles = 2e9;
+    p.sendCount = 1000;
+    p.bytesRead = 64'000;
+    p.bytesWritten = 0;
+    return p;
+}
+
+ExecProfile
+memoryBoundProfile()
+{
+    ExecProfile p;
+    p.numThreads = 4096;
+    p.dynInstrs = 10'000'000;
+    p.threadCycles = 2e7;
+    p.sendCount = 5'000'000;
+    p.bytesRead = 8'000'000'000ull;
+    p.bytesWritten = 2'000'000'000ull;
+    return p;
+}
+
+TrialConfig
+noiseless()
+{
+    TrialConfig t;
+    t.noiseSigma = 0.0;
+    return t;
+}
+
+TEST(Timing, MoreWorkTakesLonger)
+{
+    TimingModel model(DeviceConfig::hd4000(), noiseless());
+    ExecProfile small = computeBoundProfile();
+    ExecProfile big = small;
+    big.threadCycles *= 4.0;
+    EXPECT_GT(model.kernelTime(big).seconds,
+              model.kernelTime(small).seconds);
+}
+
+TEST(Timing, ComputeBoundScalesWithFrequency)
+{
+    TrialConfig fast = noiseless();
+    TrialConfig slow = noiseless();
+    slow.freqMhz = 575.0; // half the HD4000 clock
+    TimingModel mf(DeviceConfig::hd4000(), fast);
+    TimingModel ms(DeviceConfig::hd4000(), slow);
+
+    ExecProfile p = computeBoundProfile();
+    double tf = mf.kernelTime(p).seconds;
+    double ts = ms.kernelTime(p).seconds;
+    // Compute-bound work takes ~2x longer at half the clock
+    // (dispatch overhead dilutes it slightly).
+    EXPECT_GT(ts / tf, 1.8);
+    EXPECT_LT(ts / tf, 2.1);
+}
+
+TEST(Timing, MemoryBoundInsensitiveToFrequency)
+{
+    TrialConfig slow = noiseless();
+    slow.freqMhz = 575.0;
+    TimingModel mf(DeviceConfig::hd4000(), noiseless());
+    TimingModel ms(DeviceConfig::hd4000(), slow);
+
+    ExecProfile p = memoryBoundProfile();
+    double tf = mf.kernelTime(p).seconds;
+    double ts = ms.kernelTime(p).seconds;
+    // DRAM bandwidth does not scale with GPU clock.
+    EXPECT_LT(ts / tf, 1.1);
+}
+
+TEST(Timing, MoreEusShortenComputeBoundKernels)
+{
+    DeviceConfig ivb = DeviceConfig::hd4000();
+    DeviceConfig hsw = DeviceConfig::hd4600();
+    TrialConfig t = noiseless();
+    t.freqMhz = 1150.0; // same clock isolates the EU count
+    TimingModel mi(ivb, t);
+    TimingModel mh(hsw, t);
+
+    ExecProfile p = computeBoundProfile();
+    EXPECT_GT(mi.kernelTime(p).seconds,
+              mh.kernelTime(p).seconds);
+}
+
+TEST(Timing, LowConcurrencyLimitsEus)
+{
+    TimingModel model(DeviceConfig::hd4000(), noiseless());
+    ExecProfile wide = computeBoundProfile();
+    ExecProfile narrow = wide;
+    narrow.numThreads = 1; // cannot fill the machine
+    EXPECT_GT(model.kernelTime(narrow).seconds,
+              model.kernelTime(wide).seconds);
+}
+
+TEST(Timing, RooflineComponentsReported)
+{
+    TimingModel model(DeviceConfig::hd4000(), noiseless());
+    KernelTime t = model.kernelTime(memoryBoundProfile());
+    EXPECT_GT(t.memorySeconds, t.computeSeconds);
+    EXPECT_GE(t.seconds, t.memorySeconds);
+    KernelTime c = model.kernelTime(computeBoundProfile());
+    EXPECT_GT(c.computeSeconds, c.memorySeconds);
+}
+
+TEST(Timing, NoiseIsDeterministicPerSeed)
+{
+    TrialConfig t;
+    t.noiseSigma = 0.05;
+    t.noiseSeed = 77;
+    TimingModel a(DeviceConfig::hd4000(), t);
+    TimingModel b(DeviceConfig::hd4000(), t);
+    ExecProfile p = computeBoundProfile();
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_DOUBLE_EQ(a.kernelTime(p).seconds,
+                         b.kernelTime(p).seconds);
+    }
+}
+
+TEST(Timing, DifferentSeedsDiffer)
+{
+    TrialConfig t1, t2;
+    t1.noiseSigma = t2.noiseSigma = 0.05;
+    t1.noiseSeed = 1;
+    t2.noiseSeed = 2;
+    TimingModel a(DeviceConfig::hd4000(), t1);
+    TimingModel b(DeviceConfig::hd4000(), t2);
+    ExecProfile p = computeBoundProfile();
+    EXPECT_NE(a.kernelTime(p).seconds, b.kernelTime(p).seconds);
+}
+
+TEST(Timing, NoiseIsSmallInRelativeTerms)
+{
+    TrialConfig t;
+    t.noiseSigma = 0.01;
+    TimingModel noisy(DeviceConfig::hd4000(), t);
+    TimingModel clean(DeviceConfig::hd4000(), noiseless());
+    ExecProfile p = computeBoundProfile();
+    double base = clean.kernelTime(p).seconds;
+    for (int i = 0; i < 50; ++i) {
+        double v = noisy.kernelTime(p).seconds;
+        EXPECT_NEAR(v / base, 1.0, 0.06);
+    }
+}
+
+TEST(Timing, InvalidConfigurationsPanic)
+{
+    setLogQuiet(true);
+    TrialConfig bad;
+    bad.freqMhz = -5.0;
+    EXPECT_THROW(TimingModel(DeviceConfig::hd4000(), bad),
+                 PanicError);
+    TrialConfig neg;
+    neg.noiseSigma = -0.1;
+    EXPECT_THROW(TimingModel(DeviceConfig::hd4000(), neg),
+                 PanicError);
+    setLogQuiet(false);
+}
+
+TEST(DeviceConfigTest, PresetsMatchPaperParameters)
+{
+    DeviceConfig ivb = DeviceConfig::hd4000();
+    EXPECT_EQ(ivb.numEus, 16u);
+    EXPECT_EQ(ivb.threadsPerEu, 8u);
+    EXPECT_EQ(ivb.totalHwThreads(), 128u);
+    EXPECT_DOUBLE_EQ(ivb.maxFreqMhz, 1150.0);
+    // The paper quotes 332.8 peak GFLOPS for the HD4000.
+    EXPECT_NEAR(ivb.peakGflops(), 332.8, 40.0);
+
+    DeviceConfig hsw = DeviceConfig::hd4600();
+    EXPECT_EQ(hsw.numEus, 20u);
+}
+
+TEST(LuxMark, CalibratedToPaperScores)
+{
+    // The paper measured 269 (HD4000) and 351 (HD4600).
+    double ivb = luxmarkScore(DeviceConfig::hd4000());
+    double hsw = luxmarkScore(DeviceConfig::hd4600());
+    EXPECT_NEAR(ivb, 269.0, 40.0);
+    EXPECT_GT(hsw, ivb * 1.15);
+    EXPECT_LT(hsw, ivb * 1.60);
+}
+
+} // anonymous namespace
+} // namespace gt::gpu

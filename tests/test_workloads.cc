@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Workload-suite tests: every kernel template instantiates to a
+ * verified binary, and all 25 applications run end-to-end with
+ * paper-shaped characteristics (parameterized across the suite).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "core/pipeline.hh"
+#include "isa/disasm.hh"
+#include "workloads/workload.hh"
+
+namespace gt::workloads
+{
+namespace
+{
+
+// --- templates ----------------------------------------------------------
+
+class TemplateTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TemplateTest, InstantiatesVerifiedBinary)
+{
+    const KernelTemplateRegistry &reg = builtinTemplates();
+    isa::KernelBinary bin =
+        reg.instantiate(GetParam(), "t_" + GetParam(), {});
+    EXPECT_EQ(bin.name, "t_" + GetParam());
+    EXPECT_GT(bin.staticInstrCount(), 0u);
+    EXPECT_NO_THROW(isa::verify(bin));
+    // Disassembly must render every instruction.
+    std::ostringstream os;
+    EXPECT_NO_THROW(isa::disassemble(bin, os));
+    EXPECT_GT(os.str().size(), 10u);
+}
+
+TEST_P(TemplateTest, ParamsChangeTheBinary)
+{
+    const KernelTemplateRegistry &reg = builtinTemplates();
+    // Doubling the leading parameter (a trip/round/stage count in
+    // every template) must change the code or its loop bounds.
+    isa::KernelBinary a =
+        reg.instantiate(GetParam(), "a", {8});
+    isa::KernelBinary b =
+        reg.instantiate(GetParam(), "b", {16});
+    bool differs =
+        a.staticInstrCount() != b.staticInstrCount();
+    if (!differs) {
+        // Same shape: at least one immediate differs (trip count).
+        std::ostringstream osa, osb;
+        isa::disassemble(a, osa);
+        isa::disassemble(b, osb);
+        std::string sa = osa.str(), sb = osb.str();
+        differs = sa.substr(sa.find('\n')) != sb.substr(sb.find('\n'));
+    }
+    EXPECT_TRUE(differs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemplates, TemplateTest,
+    ::testing::ValuesIn(builtinTemplates().templateNames()),
+    [](const auto &info) { return info.param; });
+
+TEST(TemplateRegistry, UnknownTemplateFatal)
+{
+    setLogQuiet(true);
+    EXPECT_THROW(
+        builtinTemplates().instantiate("no-such", "x", {}),
+        FatalError);
+    setLogQuiet(false);
+}
+
+TEST(TemplateRegistry, UserExtensionPoint)
+{
+    KernelTemplateRegistry reg;
+    reg.add("custom", [](const std::string &name,
+                         const std::vector<int64_t> &) {
+        isa::KernelBuilder b(name, 0);
+        b.halt();
+        return b.finish();
+    });
+    EXPECT_TRUE(reg.has("custom"));
+    isa::KernelBinary bin = reg.instantiate("custom", "c", {});
+    EXPECT_EQ(bin.staticInstrCount(), 1u);
+}
+
+TEST(TemplateJitTest, DerivesNameWhenAbsent)
+{
+    TemplateJit jit;
+    isa::KernelSource src;
+    src.templateName = "julia";
+    src.params = {32, 8};
+    isa::KernelBinary bin = jit.compile(src);
+    EXPECT_EQ(bin.name, "julia_32_8");
+}
+
+// --- suite-wide application properties -----------------------------------
+
+/** Profiles are expensive; compute one per app lazily and cache. */
+const core::ProfiledApp &
+profiled(const std::string &name)
+{
+    static std::map<std::string, core::ProfiledApp> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        const Workload *w = findWorkload(name);
+        GT_ASSERT(w, "unknown workload ", name);
+        it = cache.emplace(name, core::profileApp(*w)).first;
+    }
+    return it->second;
+}
+
+class SuiteTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteTest, RunsAndHasPaperShapedCharacteristics)
+{
+    const core::ProfiledApp &app = profiled(GetParam());
+    const core::AppCharacterization &st = app.stats;
+
+    // Fig. 3a ranges: hundreds to ~160K API calls; the three
+    // categories partition the stream.
+    EXPECT_GE(st.totalApiCalls, 100u);
+    EXPECT_LE(st.totalApiCalls, 200'000u);
+    EXPECT_NEAR(st.fracKernel + st.fracSync + st.fracOther, 1.0,
+                1e-9);
+    EXPECT_GT(st.fracKernel, 0.0);
+    EXPECT_GT(st.fracSync, 0.0);
+
+    // Fig. 3b: 1..50 unique kernels; >= 6 unique basic blocks.
+    EXPECT_GE(st.uniqueKernels, 1u);
+    EXPECT_LE(st.uniqueKernels, 50u);
+    EXPECT_GE(st.uniqueBlocks, 6u);
+    EXPECT_LE(st.uniqueBlocks, 12'000u);
+
+    // Fig. 3c: dynamic work present and self-consistent.
+    EXPECT_GE(st.kernelInvocations, 50u);
+    EXPECT_GT(st.blockExecs, st.kernelInvocations);
+    EXPECT_GT(st.dynInstrs, st.blockExecs);
+    EXPECT_EQ(st.dynInstrs, app.db.totalInstrs());
+    EXPECT_EQ(st.kernelInvocations, app.db.numDispatches());
+
+    // Fig. 4a: instruction classes sum to the dynamic total; no
+    // instrumentation leaks into application mixes.
+    uint64_t class_sum = 0;
+    for (int c = 0; c < isa::numOpClasses; ++c)
+        class_sum += st.classCounts[c];
+    EXPECT_EQ(class_sum, st.dynInstrs);
+    EXPECT_EQ(
+        st.classCounts[(int)isa::OpClass::Instrumentation], 0u);
+    EXPECT_GT(st.classCounts[(int)isa::OpClass::Computation], 0u);
+    EXPECT_GT(st.classCounts[(int)isa::OpClass::Control], 0u);
+
+    // Fig. 4b: SIMD widths sum correctly; SIMD-2 is never used
+    // (paper: "2-wide instructions are never used").
+    uint64_t simd_sum = 0;
+    for (int b = 0; b < 5; ++b)
+        simd_sum += st.simdCounts[b];
+    EXPECT_EQ(simd_sum, st.dynInstrs);
+    EXPECT_EQ(st.simdCounts[1], 0u);
+    EXPECT_GT(st.simdCounts[3] + st.simdCounts[4], st.dynInstrs / 2);
+
+    // Fig. 4c: every app moves memory.
+    EXPECT_GT(st.bytesRead + st.bytesWritten, 0u);
+
+    // Timing exists for every dispatch.
+    EXPECT_GT(app.db.totalSeconds(), 0.0);
+    EXPECT_GT(app.db.numSyncEpochs(), 1u);
+
+    // The recording is complete enough to replay.
+    EXPECT_EQ(app.recording.dispatchCount(), st.kernelInvocations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All25Apps, SuiteTest,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const Workload *w : workloadSuite())
+            names.push_back(w->info().name);
+        return names;
+    }()),
+    [](const auto &info) {
+        std::string s = info.param;
+        for (char &c : s) {
+            if (c == '-')
+                c = '_';
+        }
+        return s;
+    });
+
+TEST(Suite, HasExactly25Applications)
+{
+    EXPECT_EQ(workloadSuite().size(), 25u);
+    std::set<std::string> names;
+    for (const Workload *w : workloadSuite())
+        names.insert(w->info().name);
+    EXPECT_EQ(names.size(), 25u);
+}
+
+TEST(Suite, SourcesMatchTableOne)
+{
+    int compubench = 0, sandra = 0, sony = 0;
+    for (const Workload *w : workloadSuite()) {
+        const std::string &suite = w->info().suite;
+        if (suite.find("CompuBench") != std::string::npos)
+            ++compubench;
+        else if (suite.find("Sandra") != std::string::npos)
+            ++sandra;
+        else if (suite.find("Sony") != std::string::npos)
+            ++sony;
+    }
+    EXPECT_EQ(compubench, 15);
+    EXPECT_EQ(sandra, 3);
+    EXPECT_EQ(sony, 7);
+}
+
+TEST(Suite, FindWorkloadByName)
+{
+    EXPECT_NE(findWorkload("cb-throughput-bitcoin"), nullptr);
+    EXPECT_EQ(findWorkload("not-an-app"), nullptr);
+}
+
+TEST(Suite, PaperOutliersReproduced)
+{
+    // Bitcoin's kernel-call share is tiny (paper: 4.5%).
+    const auto &btc = profiled("cb-throughput-bitcoin").stats;
+    EXPECT_LT(btc.fracKernel, 0.10);
+
+    // Part-sim-32K is kernel-call dominated (paper: 76.5%).
+    const auto &ps = profiled("cb-physics-part-sim-32k").stats;
+    EXPECT_GT(ps.fracKernel, 0.60);
+
+    // Juliaset is the sync-share outlier (paper: 25.7%) and has the
+    // fewest API calls (paper: 703).
+    const auto &julia = profiled("cb-throughput-juliaset").stats;
+    EXPECT_GT(julia.fracSync, 0.15);
+    EXPECT_LT(julia.totalApiCalls, 1000u);
+
+    // Proc-GPU is computation-dominated (paper: 91%).
+    const auto &proc = profiled("sandra-proc-gpu").stats;
+    double comp =
+        (double)proc.classCounts[(int)isa::OpClass::Computation] /
+        (double)proc.dynInstrs;
+    EXPECT_GT(comp, 0.70);
+
+    // Sony region 5 is the extreme writer (paper: writes 525x reads).
+    const auto &r5 = profiled("sonyvegas-proj-r5").stats;
+    EXPECT_GT(r5.bytesWritten, r5.bytesRead * 10);
+
+    // The crypto benchmarks read the most.
+    const auto &aes = profiled("sandra-crypt-aes256").stats;
+    EXPECT_GT(aes.bytesRead, aes.bytesWritten * 10);
+}
+
+} // anonymous namespace
+} // namespace gt::workloads
