@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_gpu_work.dir/fig4_gpu_work.cc.o"
+  "CMakeFiles/fig4_gpu_work.dir/fig4_gpu_work.cc.o.d"
+  "fig4_gpu_work"
+  "fig4_gpu_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_gpu_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_config_space.dir/fig5_config_space.cc.o"
+  "CMakeFiles/fig5_config_space.dir/fig5_config_space.cc.o.d"
+  "fig5_config_space"
+  "fig5_config_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_config_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

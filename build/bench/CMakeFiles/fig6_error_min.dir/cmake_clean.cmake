@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_error_min.dir/fig6_error_min.cc.o"
+  "CMakeFiles/fig6_error_min.dir/fig6_error_min.cc.o.d"
+  "fig6_error_min"
+  "fig6_error_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_error_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cooptimize.dir/fig7_cooptimize.cc.o"
+  "CMakeFiles/fig7_cooptimize.dir/fig7_cooptimize.cc.o.d"
+  "fig7_cooptimize"
+  "fig7_cooptimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cooptimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libgt_bench_harness.a"
+)

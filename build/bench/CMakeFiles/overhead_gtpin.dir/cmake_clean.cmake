@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_gtpin.dir/overhead_gtpin.cc.o"
+  "CMakeFiles/overhead_gtpin.dir/overhead_gtpin.cc.o.d"
+  "overhead_gtpin"
+  "overhead_gtpin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_gtpin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

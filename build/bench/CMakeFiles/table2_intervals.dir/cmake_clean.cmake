@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_intervals.dir/table2_intervals.cc.o"
+  "CMakeFiles/table2_intervals.dir/table2_intervals.cc.o.d"
+  "table2_intervals"
+  "table2_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

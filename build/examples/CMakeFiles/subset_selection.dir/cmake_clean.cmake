@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subset_selection.dir/subset_selection.cpp.o"
+  "CMakeFiles/subset_selection.dir/subset_selection.cpp.o.d"
+  "subset_selection"
+  "subset_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subset_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfl/recorder.cc" "src/cfl/CMakeFiles/gt_cfl.dir/recorder.cc.o" "gcc" "src/cfl/CMakeFiles/gt_cfl.dir/recorder.cc.o.d"
+  "/root/repo/src/cfl/serialize.cc" "src/cfl/CMakeFiles/gt_cfl.dir/serialize.cc.o" "gcc" "src/cfl/CMakeFiles/gt_cfl.dir/serialize.cc.o.d"
+  "/root/repo/src/cfl/tracer.cc" "src/cfl/CMakeFiles/gt_cfl.dir/tracer.cc.o" "gcc" "src/cfl/CMakeFiles/gt_cfl.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ocl/CMakeFiles/gt_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gt_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gt_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_cfl.dir/recorder.cc.o"
+  "CMakeFiles/gt_cfl.dir/recorder.cc.o.d"
+  "CMakeFiles/gt_cfl.dir/serialize.cc.o"
+  "CMakeFiles/gt_cfl.dir/serialize.cc.o.d"
+  "CMakeFiles/gt_cfl.dir/tracer.cc.o"
+  "CMakeFiles/gt_cfl.dir/tracer.cc.o.d"
+  "libgt_cfl.a"
+  "libgt_cfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_cfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

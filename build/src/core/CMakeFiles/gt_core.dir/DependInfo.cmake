@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/explorer.cc" "src/core/CMakeFiles/gt_core.dir/explorer.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/explorer.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/gt_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/features.cc.o.d"
+  "/root/repo/src/core/interval.cc" "src/core/CMakeFiles/gt_core.dir/interval.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/interval.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/gt_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/core/CMakeFiles/gt_core.dir/selection.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/selection.cc.o.d"
+  "/root/repo/src/core/selection_io.cc" "src/core/CMakeFiles/gt_core.dir/selection_io.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/selection_io.cc.o.d"
+  "/root/repo/src/core/simpoint.cc" "src/core/CMakeFiles/gt_core.dir/simpoint.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/simpoint.cc.o.d"
+  "/root/repo/src/core/trace_db.cc" "src/core/CMakeFiles/gt_core.dir/trace_db.cc.o" "gcc" "src/core/CMakeFiles/gt_core.dir/trace_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gtpin/CMakeFiles/gt_gtpin.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfl/CMakeFiles/gt_cfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/gt_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gt_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_core.dir/explorer.cc.o"
+  "CMakeFiles/gt_core.dir/explorer.cc.o.d"
+  "CMakeFiles/gt_core.dir/features.cc.o"
+  "CMakeFiles/gt_core.dir/features.cc.o.d"
+  "CMakeFiles/gt_core.dir/interval.cc.o"
+  "CMakeFiles/gt_core.dir/interval.cc.o.d"
+  "CMakeFiles/gt_core.dir/pipeline.cc.o"
+  "CMakeFiles/gt_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/gt_core.dir/selection.cc.o"
+  "CMakeFiles/gt_core.dir/selection.cc.o.d"
+  "CMakeFiles/gt_core.dir/selection_io.cc.o"
+  "CMakeFiles/gt_core.dir/selection_io.cc.o.d"
+  "CMakeFiles/gt_core.dir/simpoint.cc.o"
+  "CMakeFiles/gt_core.dir/simpoint.cc.o.d"
+  "CMakeFiles/gt_core.dir/trace_db.cc.o"
+  "CMakeFiles/gt_core.dir/trace_db.cc.o.d"
+  "libgt_core.a"
+  "libgt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/detailed_sim.cc" "src/gpu/CMakeFiles/gt_gpu.dir/detailed_sim.cc.o" "gcc" "src/gpu/CMakeFiles/gt_gpu.dir/detailed_sim.cc.o.d"
+  "/root/repo/src/gpu/device_config.cc" "src/gpu/CMakeFiles/gt_gpu.dir/device_config.cc.o" "gcc" "src/gpu/CMakeFiles/gt_gpu.dir/device_config.cc.o.d"
+  "/root/repo/src/gpu/exec_profile.cc" "src/gpu/CMakeFiles/gt_gpu.dir/exec_profile.cc.o" "gcc" "src/gpu/CMakeFiles/gt_gpu.dir/exec_profile.cc.o.d"
+  "/root/repo/src/gpu/executor.cc" "src/gpu/CMakeFiles/gt_gpu.dir/executor.cc.o" "gcc" "src/gpu/CMakeFiles/gt_gpu.dir/executor.cc.o.d"
+  "/root/repo/src/gpu/luxmark.cc" "src/gpu/CMakeFiles/gt_gpu.dir/luxmark.cc.o" "gcc" "src/gpu/CMakeFiles/gt_gpu.dir/luxmark.cc.o.d"
+  "/root/repo/src/gpu/memory.cc" "src/gpu/CMakeFiles/gt_gpu.dir/memory.cc.o" "gcc" "src/gpu/CMakeFiles/gt_gpu.dir/memory.cc.o.d"
+  "/root/repo/src/gpu/timing.cc" "src/gpu/CMakeFiles/gt_gpu.dir/timing.cc.o" "gcc" "src/gpu/CMakeFiles/gt_gpu.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/gt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_gpu.dir/detailed_sim.cc.o"
+  "CMakeFiles/gt_gpu.dir/detailed_sim.cc.o.d"
+  "CMakeFiles/gt_gpu.dir/device_config.cc.o"
+  "CMakeFiles/gt_gpu.dir/device_config.cc.o.d"
+  "CMakeFiles/gt_gpu.dir/exec_profile.cc.o"
+  "CMakeFiles/gt_gpu.dir/exec_profile.cc.o.d"
+  "CMakeFiles/gt_gpu.dir/executor.cc.o"
+  "CMakeFiles/gt_gpu.dir/executor.cc.o.d"
+  "CMakeFiles/gt_gpu.dir/luxmark.cc.o"
+  "CMakeFiles/gt_gpu.dir/luxmark.cc.o.d"
+  "CMakeFiles/gt_gpu.dir/memory.cc.o"
+  "CMakeFiles/gt_gpu.dir/memory.cc.o.d"
+  "CMakeFiles/gt_gpu.dir/timing.cc.o"
+  "CMakeFiles/gt_gpu.dir/timing.cc.o.d"
+  "libgt_gpu.a"
+  "libgt_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gtpin/cache_sim.cc" "src/gtpin/CMakeFiles/gt_gtpin.dir/cache_sim.cc.o" "gcc" "src/gtpin/CMakeFiles/gt_gtpin.dir/cache_sim.cc.o.d"
+  "/root/repo/src/gtpin/gtpin.cc" "src/gtpin/CMakeFiles/gt_gtpin.dir/gtpin.cc.o" "gcc" "src/gtpin/CMakeFiles/gt_gtpin.dir/gtpin.cc.o.d"
+  "/root/repo/src/gtpin/kernel_profile.cc" "src/gtpin/CMakeFiles/gt_gtpin.dir/kernel_profile.cc.o" "gcc" "src/gtpin/CMakeFiles/gt_gtpin.dir/kernel_profile.cc.o.d"
+  "/root/repo/src/gtpin/rewriter.cc" "src/gtpin/CMakeFiles/gt_gtpin.dir/rewriter.cc.o" "gcc" "src/gtpin/CMakeFiles/gt_gtpin.dir/rewriter.cc.o.d"
+  "/root/repo/src/gtpin/tools.cc" "src/gtpin/CMakeFiles/gt_gtpin.dir/tools.cc.o" "gcc" "src/gtpin/CMakeFiles/gt_gtpin.dir/tools.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ocl/CMakeFiles/gt_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gt_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_gtpin.dir/cache_sim.cc.o"
+  "CMakeFiles/gt_gtpin.dir/cache_sim.cc.o.d"
+  "CMakeFiles/gt_gtpin.dir/gtpin.cc.o"
+  "CMakeFiles/gt_gtpin.dir/gtpin.cc.o.d"
+  "CMakeFiles/gt_gtpin.dir/kernel_profile.cc.o"
+  "CMakeFiles/gt_gtpin.dir/kernel_profile.cc.o.d"
+  "CMakeFiles/gt_gtpin.dir/rewriter.cc.o"
+  "CMakeFiles/gt_gtpin.dir/rewriter.cc.o.d"
+  "CMakeFiles/gt_gtpin.dir/tools.cc.o"
+  "CMakeFiles/gt_gtpin.dir/tools.cc.o.d"
+  "libgt_gtpin.a"
+  "libgt_gtpin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_gtpin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

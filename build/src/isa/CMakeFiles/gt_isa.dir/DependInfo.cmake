@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/builder.cc" "src/isa/CMakeFiles/gt_isa.dir/builder.cc.o" "gcc" "src/isa/CMakeFiles/gt_isa.dir/builder.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/isa/CMakeFiles/gt_isa.dir/disasm.cc.o" "gcc" "src/isa/CMakeFiles/gt_isa.dir/disasm.cc.o.d"
+  "/root/repo/src/isa/kernel.cc" "src/isa/CMakeFiles/gt_isa.dir/kernel.cc.o" "gcc" "src/isa/CMakeFiles/gt_isa.dir/kernel.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/isa/CMakeFiles/gt_isa.dir/opcode.cc.o" "gcc" "src/isa/CMakeFiles/gt_isa.dir/opcode.cc.o.d"
+  "/root/repo/src/isa/slice.cc" "src/isa/CMakeFiles/gt_isa.dir/slice.cc.o" "gcc" "src/isa/CMakeFiles/gt_isa.dir/slice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_isa.dir/builder.cc.o"
+  "CMakeFiles/gt_isa.dir/builder.cc.o.d"
+  "CMakeFiles/gt_isa.dir/disasm.cc.o"
+  "CMakeFiles/gt_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/gt_isa.dir/kernel.cc.o"
+  "CMakeFiles/gt_isa.dir/kernel.cc.o.d"
+  "CMakeFiles/gt_isa.dir/opcode.cc.o"
+  "CMakeFiles/gt_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/gt_isa.dir/slice.cc.o"
+  "CMakeFiles/gt_isa.dir/slice.cc.o.d"
+  "libgt_isa.a"
+  "libgt_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

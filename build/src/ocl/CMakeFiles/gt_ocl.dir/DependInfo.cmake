@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocl/api_call.cc" "src/ocl/CMakeFiles/gt_ocl.dir/api_call.cc.o" "gcc" "src/ocl/CMakeFiles/gt_ocl.dir/api_call.cc.o.d"
+  "/root/repo/src/ocl/driver.cc" "src/ocl/CMakeFiles/gt_ocl.dir/driver.cc.o" "gcc" "src/ocl/CMakeFiles/gt_ocl.dir/driver.cc.o.d"
+  "/root/repo/src/ocl/runtime.cc" "src/ocl/CMakeFiles/gt_ocl.dir/runtime.cc.o" "gcc" "src/ocl/CMakeFiles/gt_ocl.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/gt_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_ocl.dir/api_call.cc.o"
+  "CMakeFiles/gt_ocl.dir/api_call.cc.o.d"
+  "CMakeFiles/gt_ocl.dir/driver.cc.o"
+  "CMakeFiles/gt_ocl.dir/driver.cc.o.d"
+  "CMakeFiles/gt_ocl.dir/runtime.cc.o"
+  "CMakeFiles/gt_ocl.dir/runtime.cc.o.d"
+  "libgt_ocl.a"
+  "libgt_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps_compubench.cc" "src/workloads/CMakeFiles/gt_workloads.dir/apps_compubench.cc.o" "gcc" "src/workloads/CMakeFiles/gt_workloads.dir/apps_compubench.cc.o.d"
+  "/root/repo/src/workloads/apps_sandra.cc" "src/workloads/CMakeFiles/gt_workloads.dir/apps_sandra.cc.o" "gcc" "src/workloads/CMakeFiles/gt_workloads.dir/apps_sandra.cc.o.d"
+  "/root/repo/src/workloads/apps_sonyvegas.cc" "src/workloads/CMakeFiles/gt_workloads.dir/apps_sonyvegas.cc.o" "gcc" "src/workloads/CMakeFiles/gt_workloads.dir/apps_sonyvegas.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/gt_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/gt_workloads.dir/suite.cc.o.d"
+  "/root/repo/src/workloads/templates.cc" "src/workloads/CMakeFiles/gt_workloads.dir/templates.cc.o" "gcc" "src/workloads/CMakeFiles/gt_workloads.dir/templates.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/gt_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/gt_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ocl/CMakeFiles/gt_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gt_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

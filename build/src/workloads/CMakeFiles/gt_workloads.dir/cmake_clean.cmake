@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_workloads.dir/apps_compubench.cc.o"
+  "CMakeFiles/gt_workloads.dir/apps_compubench.cc.o.d"
+  "CMakeFiles/gt_workloads.dir/apps_sandra.cc.o"
+  "CMakeFiles/gt_workloads.dir/apps_sandra.cc.o.d"
+  "CMakeFiles/gt_workloads.dir/apps_sonyvegas.cc.o"
+  "CMakeFiles/gt_workloads.dir/apps_sonyvegas.cc.o.d"
+  "CMakeFiles/gt_workloads.dir/suite.cc.o"
+  "CMakeFiles/gt_workloads.dir/suite.cc.o.d"
+  "CMakeFiles/gt_workloads.dir/templates.cc.o"
+  "CMakeFiles/gt_workloads.dir/templates.cc.o.d"
+  "CMakeFiles/gt_workloads.dir/workload.cc.o"
+  "CMakeFiles/gt_workloads.dir/workload.cc.o.d"
+  "libgt_workloads.a"
+  "libgt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

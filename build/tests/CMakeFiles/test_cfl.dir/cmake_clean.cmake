@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfl.dir/test_cfl.cc.o"
+  "CMakeFiles/test_cfl.dir/test_cfl.cc.o.d"
+  "test_cfl"
+  "test_cfl.pdb"
+  "test_cfl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gtpin.dir/test_gtpin.cc.o"
+  "CMakeFiles/test_gtpin.dir/test_gtpin.cc.o.d"
+  "test_gtpin"
+  "test_gtpin.pdb"
+  "test_gtpin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gtpin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selection_io.dir/test_selection_io.cc.o"
+  "CMakeFiles/test_selection_io.dir/test_selection_io.cc.o.d"
+  "test_selection_io"
+  "test_selection_io.pdb"
+  "test_selection_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selection_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

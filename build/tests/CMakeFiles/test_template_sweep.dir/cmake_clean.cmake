@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_template_sweep.dir/test_template_sweep.cc.o"
+  "CMakeFiles/test_template_sweep.dir/test_template_sweep.cc.o.d"
+  "test_template_sweep"
+  "test_template_sweep.pdb"
+  "test_template_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_template_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

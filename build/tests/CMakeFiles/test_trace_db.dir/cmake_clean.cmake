@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_db.dir/test_trace_db.cc.o"
+  "CMakeFiles/test_trace_db.dir/test_trace_db.cc.o.d"
+  "test_trace_db"
+  "test_trace_db.pdb"
+  "test_trace_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_slice[1]_include.cmake")
+include("/root/repo/build/tests/test_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_detailed_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_ocl[1]_include.cmake")
+include("/root/repo/build/tests/test_gtpin[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_cfl[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_template_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_selection_io[1]_include.cmake")
+include("/root/repo/build/tests/test_model_consistency[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_db[1]_include.cmake")
+include("/root/repo/build/tests/test_interval[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_simpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_selection[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
