@@ -1,11 +1,21 @@
 #include "bench/harness.hh"
 
 #include <map>
+#include <mutex>
 
 #include "common/logging.hh"
 
 namespace gt::bench
 {
+
+namespace
+{
+
+std::mutex cacheMutex;
+std::map<std::string, core::ProfiledApp> profileCache;
+std::map<std::string, core::Exploration> explorationCache;
+
+} // anonymous namespace
 
 const std::vector<std::string> &
 paperOrder()
@@ -24,28 +34,69 @@ paperOrder()
 const core::ProfiledApp &
 profiledApp(const std::string &name)
 {
-    static std::map<std::string, core::ProfiledApp> cache;
-    auto it = cache.find(name);
-    if (it == cache.end()) {
-        const workloads::Workload *w =
-            workloads::findWorkload(name);
-        GT_ASSERT(w, "unknown workload ", name);
-        it = cache.emplace(name, core::profileApp(*w)).first;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = profileCache.find(name);
+        if (it != profileCache.end())
+            return it->second;
     }
-    return it->second;
+    // Profile outside the lock: profileApp is self-contained, and
+    // holding the mutex across it would serialize concurrent
+    // callers. A racing duplicate profile is discarded by emplace.
+    const workloads::Workload *w = workloads::findWorkload(name);
+    GT_ASSERT(w, "unknown workload ", name);
+    core::ProfiledApp app = core::profileApp(*w);
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return profileCache.emplace(name, std::move(app)).first->second;
 }
 
 const core::Exploration &
 exploration(const std::string &name)
 {
-    static std::map<std::string, core::Exploration> cache;
-    auto it = cache.find(name);
-    if (it == cache.end()) {
-        const core::ProfiledApp &app = profiledApp(name);
-        it = cache.emplace(name, core::exploreConfigs(app.db))
-                 .first;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = explorationCache.find(name);
+        if (it != explorationCache.end())
+            return it->second;
     }
-    return it->second;
+    const core::ProfiledApp &app = profiledApp(name);
+    core::Exploration ex = core::exploreConfigs(app.db);
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return explorationCache.emplace(name, std::move(ex))
+        .first->second;
+}
+
+void
+prefetchProfiles()
+{
+    std::vector<const workloads::Workload *> missing;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        for (const std::string &name : paperOrder()) {
+            if (!profileCache.count(name))
+                missing.push_back(workloads::findWorkload(name));
+        }
+    }
+    if (missing.empty())
+        return;
+    std::vector<core::ProfiledApp> profiled =
+        core::profileSuite(missing);
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    for (core::ProfiledApp &app : profiled) {
+        std::string name = app.name;
+        profileCache.emplace(std::move(name), std::move(app));
+    }
+}
+
+void
+prefetchExplorations()
+{
+    prefetchProfiles();
+    // exploreConfigs already fans its 30 configurations out on the
+    // global pool; iterating apps serially here still keeps the pool
+    // saturated while preserving the cache-fill order.
+    for (const std::string &name : paperOrder())
+        exploration(name);
 }
 
 } // namespace gt::bench

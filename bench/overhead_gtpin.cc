@@ -10,7 +10,12 @@
  *    profiled dispatch);
  *  - throughput of the core machinery: the functional executor's
  *    fast mode, the binary rewriter, the k-means clusterer, and the
- *    detailed simulator (whose slowness is the paper's motivation).
+ *    detailed simulator (whose slowness is the paper's motivation);
+ *  - wall-clock scaling of the gt::sched parallel entry points
+ *    (profileSuite, exploreConfigs) against their 1-thread serial
+ *    fallback, so the BENCH record captures the serial-vs-parallel
+ *    trajectory. These use real time (not CPU time): a parallel run
+ *    burns the same CPU seconds across more cores.
  */
 
 #include <benchmark/benchmark.h>
@@ -19,6 +24,7 @@
 
 #include "cfl/tracer.hh"
 #include "core/pipeline.hh"
+#include "sched/thread_pool.hh"
 #include "gpu/detailed_sim.hh"
 #include "gtpin/tools.hh"
 #include "workloads/templates.hh"
@@ -211,6 +217,74 @@ BM_SimPointClustering(benchmark::State &state)
 BENCHMARK(BM_SimPointClustering)
     ->Arg(500)
     ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+/** A mid-size slice of the suite for the scaling benchmarks. */
+const std::vector<const workloads::Workload *> &
+suiteSlice()
+{
+    static const std::vector<const workloads::Workload *> apps = [] {
+        const std::vector<std::string> names{
+            "cb-gaussian-image",  "cb-gaussian-buffer",
+            "cb-histogram-image", "cb-throughput-juliaset",
+            "cb-vision-facedetect-mobile", "sandra-crypt-aes128",
+        };
+        std::vector<const workloads::Workload *> out;
+        for (const std::string &n : names) {
+            if (const workloads::Workload *w =
+                    workloads::findWorkload(n)) {
+                out.push_back(w);
+            }
+        }
+        return out;
+    }();
+    return apps;
+}
+
+void
+BM_ProfileSuite(benchmark::State &state)
+{
+    setLogQuiet(true);
+    sched::ThreadPool pool((unsigned)state.range(0));
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        std::vector<core::ProfiledApp> apps = core::profileSuite(
+            suiteSlice(), gpu::DeviceConfig::hd4000(), {}, &pool);
+        instrs = 0;
+        for (const core::ProfiledApp &a : apps)
+            instrs += a.db.totalInstrs();
+        benchmark::DoNotOptimize(instrs);
+    }
+    state.counters["threads"] = (double)pool.threadCount();
+    state.counters["apps"] = (double)suiteSlice().size();
+}
+BENCHMARK(BM_ProfileSuite)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ExploreConfigs(benchmark::State &state)
+{
+    setLogQuiet(true);
+    static const core::ProfiledApp app = core::profileApp(
+        *workloads::findWorkload("cb-gaussian-buffer"));
+    sched::ThreadPool pool((unsigned)state.range(0));
+    core::simpoint::ClusterOptions options;
+    options.pool = &pool;
+    for (auto _ : state) {
+        core::Exploration ex = core::exploreConfigs(app.db, options);
+        benchmark::DoNotOptimize(ex.results.size());
+    }
+    state.counters["threads"] = (double)pool.threadCount();
+}
+BENCHMARK(BM_ExploreConfigs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace

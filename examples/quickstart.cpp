@@ -8,7 +8,10 @@
  * API-call breakdown, program structure, dynamic work, instruction
  * mixes, and memory activity.
  *
- * Usage: quickstart [workload-name]   (default cb-throughput-juliaset)
+ * Usage: quickstart [workload-name|all]
+ *        (default cb-throughput-juliaset; "all" profiles the whole
+ *        25-app suite concurrently via profileSuite() — thread count
+ *        honors GT_THREADS)
  */
 
 #include <iostream>
@@ -18,11 +21,44 @@
 
 using namespace gt;
 
+namespace
+{
+
+/** "all": profile the entire registry concurrently and summarize. */
+int
+profileWholeSuite()
+{
+    const std::vector<const workloads::Workload *> &apps =
+        workloads::workloadSuite();
+    std::cout << "Profiling all " << apps.size()
+              << " applications concurrently on "
+              << sched::ThreadPool::global().threadCount()
+              << " threads (set GT_THREADS to change)...\n\n";
+
+    std::vector<core::ProfiledApp> profiled =
+        core::profileSuite(apps);
+
+    TextTable table({"application", "invocations", "instructions",
+                     "kernel time"});
+    for (const core::ProfiledApp &app : profiled) {
+        table.addRow({app.name,
+                      std::to_string(app.db.numDispatches()),
+                      humanCount((double)app.db.totalInstrs()),
+                      fixed(app.db.totalSeconds(), 4) + " s"});
+    }
+    table.print(std::cout, "Suite profile (one native run per app)");
+    return 0;
+}
+
+} // anonymous namespace
+
 int
 main(int argc, char **argv)
 {
     std::string name =
         argc > 1 ? argv[1] : "cb-throughput-juliaset";
+    if (name == "all")
+        return profileWholeSuite();
     const workloads::Workload *app = workloads::findWorkload(name);
     if (!app) {
         std::cerr << "unknown workload '" << name << "'; available:\n";

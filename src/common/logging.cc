@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace gt
@@ -8,20 +9,22 @@ namespace gt
 namespace
 {
 
-bool quietFlag = false;
+// Atomic: messages are emitted from scheduler worker threads while
+// test fixtures toggle quiet mode on the main thread.
+std::atomic<bool> quietFlag{false};
 
 } // anonymous namespace
 
 void
 setLogQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 logQuiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 namespace detail
@@ -32,7 +35,7 @@ emitMessage(const char *prefix, const std::string &msg)
 {
     bool is_error =
         prefix[0] == 'p' || prefix[0] == 'f'; // panic or fatal
-    if (quietFlag && !is_error)
+    if (quietFlag.load(std::memory_order_relaxed) && !is_error)
         return;
     std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
 }

@@ -56,6 +56,16 @@ Rng::fork()
     return Rng(next() ^ 0xd1b54a32d192ed03ULL);
 }
 
+Rng
+Rng::split(uint64_t stream) const
+{
+    // See the header for the documented derivation; keep both in
+    // sync if this ever changes.
+    uint64_t sm = s[0] ^ rotl(s[2], 17) ^
+        ((stream + 1) * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(sm));
+}
+
 uint64_t
 Rng::nextBounded(uint64_t bound)
 {

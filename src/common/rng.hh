@@ -40,6 +40,27 @@ class Rng
     /** @return an independent generator derived from this one. */
     Rng fork();
 
+    /**
+     * Derive the @p stream-th independent substream *without
+     * advancing this generator* — the parallel-safe counterpart of
+     * fork(). Because the result depends only on the current state
+     * and @p stream, tasks can derive their streams in any order (or
+     * concurrently from copies) and still get identical generators,
+     * which is what keeps parallel k-means and trial fan-outs
+     * bit-identical to their serial equivalents.
+     *
+     * Derivation: the substream seed is
+     *
+     *   splitmix64(s0 ^ rotl(s2, 17) ^ ((stream + 1) * GOLDEN))
+     *
+     * where s0/s2 are state words of this generator, GOLDEN is
+     * 0x9e3779b97f4a7c15 (the splitmix64 increment), and the result
+     * seeds a fresh Rng through the usual splitmix64 expansion. The
+     * (stream + 1) multiplier keeps stream 0 from collapsing onto
+     * the parent's own seeding path.
+     */
+    Rng split(uint64_t stream) const;
+
     /** @return uniform integer in [0, bound), bound > 0. */
     uint64_t nextBounded(uint64_t bound);
 

@@ -22,18 +22,30 @@ exploreConfigs(const TraceDatabase &db,
                const simpoint::ClusterOptions &options,
                uint64_t target_instrs)
 {
+    sched::ThreadPool &pool = options.pool
+        ? *options.pool
+        : sched::ThreadPool::global();
+
+    // All 30 (scheme, feature) evaluations read the same immutable
+    // TraceDatabase (const-qualified access only; see its class
+    // comment) and write disjoint slots in the paper's enumeration
+    // order, so the fan-out is bit-identical to the serial loop.
+    constexpr size_t num_configs =
+        (size_t)numIntervalSchemes * numFeatureKinds;
     Exploration ex;
-    ex.results.reserve(numIntervalSchemes * numFeatureKinds);
-    for (int s = 0; s < numIntervalSchemes; ++s) {
-        for (int f = 0; f < numFeatureKinds; ++f) {
-            ConfigResult r;
+    ex.results.resize(num_configs);
+    pool.parallelFor(
+        num_configs,
+        [&](size_t idx) {
+            int s = (int)(idx / numFeatureKinds);
+            int f = (int)(idx % numFeatureKinds);
+            ConfigResult &r = ex.results[idx];
             r.selection = selectSubset(db, (IntervalScheme)s,
                                        (FeatureKind)f, options,
                                        target_instrs);
             r.errorPct = selectionErrorPct(db, r.selection);
-            ex.results.push_back(std::move(r));
-        }
-    }
+        },
+        1);
     return ex;
 }
 

@@ -71,6 +71,25 @@ profileApp(const workloads::Workload &workload,
     return app;
 }
 
+std::vector<ProfiledApp>
+profileSuite(const std::vector<const workloads::Workload *> &apps,
+             const gpu::DeviceConfig &config,
+             const gpu::TrialConfig &trial,
+             sched::ThreadPool *pool_arg)
+{
+    sched::ThreadPool &pool =
+        pool_arg ? *pool_arg : sched::ThreadPool::global();
+    std::vector<ProfiledApp> results(apps.size());
+    pool.parallelFor(
+        apps.size(),
+        [&](size_t i) {
+            GT_ASSERT(apps[i], "null workload in profileSuite");
+            results[i] = profileApp(*apps[i], config, trial);
+        },
+        1);
+    return results;
+}
+
 TraceDatabase
 replayTrial(const cfl::Recording &recording,
             const gpu::DeviceConfig &config,

@@ -20,6 +20,7 @@
 
 #include "cfl/recorder.hh"
 #include "core/explorer.hh"
+#include "sched/thread_pool.hh"
 #include "workloads/workload.hh"
 
 namespace gt::core
@@ -69,6 +70,22 @@ ProfiledApp profileApp(
     const workloads::Workload &workload,
     const gpu::DeviceConfig &config = gpu::DeviceConfig::hd4000(),
     const gpu::TrialConfig &trial = {});
+
+/**
+ * Profile every workload in @p apps concurrently on @p pool (null =
+ * the process-wide pool, whose size honors GT_THREADS).
+ *
+ * Each task builds a private driver / JIT / GT-Pin / tracer stack —
+ * profileApp() shares no mutable state between calls — so
+ * results[i] is bit-identical to a serial profileApp(*apps[i])
+ * regardless of thread count, and results are returned in input
+ * order.
+ */
+std::vector<ProfiledApp> profileSuite(
+    const std::vector<const workloads::Workload *> &apps,
+    const gpu::DeviceConfig &config = gpu::DeviceConfig::hd4000(),
+    const gpu::TrialConfig &trial = {},
+    sched::ThreadPool *pool = nullptr);
 
 /**
  * Replay @p recording on @p config under @p trial with the GT-Pin

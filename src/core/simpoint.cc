@@ -1,6 +1,7 @@
 #include "core/simpoint.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -11,6 +12,14 @@ namespace gt::core::simpoint
 
 namespace
 {
+
+/**
+ * Chunk size for every floating-point reduction in this file. The
+ * chunk layout — and therefore the FP combination tree — is a
+ * function of the population size alone, so results are bit-identical
+ * for any thread count (including the 1-thread serial fallback).
+ */
+constexpr size_t reduceGrain = 256;
 
 /** Deterministic projection coefficient for (key, dim) in [-1, 1]. */
 double
@@ -47,24 +56,33 @@ struct KMeansResult
 KMeansResult
 kmeans(const std::vector<Point> &points,
        const std::vector<double> &weights, int k, int max_iters,
-       Rng &rng)
+       Rng &rng, sched::ThreadPool &pool)
 {
     size_t n = points.size();
     KMeansResult result;
     result.centroids.reserve((size_t)k);
 
-    // k-means++ initialization (weighted).
+    // k-means++ initialization (weighted). The distance refresh and
+    // its weighted total parallelize per chunk; the draw itself stays
+    // sequential on the per-run RNG stream.
     std::vector<double> min_d2(n,
                                std::numeric_limits<double>::max());
     size_t first = rng.nextBounded(n);
     result.centroids.push_back(points[first]);
     while (result.centroids.size() < (size_t)k) {
-        double total = 0.0;
-        for (size_t i = 0; i < n; ++i) {
-            min_d2[i] = std::min(
-                min_d2[i], dist2(points[i], result.centroids.back()));
-            total += min_d2[i] * weights[i];
-        }
+        const Point &latest = result.centroids.back();
+        double total = pool.parallelReduce<double>(
+            n, reduceGrain, 0.0,
+            [&](size_t begin, size_t end) {
+                double part = 0.0;
+                for (size_t i = begin; i < end; ++i) {
+                    min_d2[i] = std::min(min_d2[i],
+                                         dist2(points[i], latest));
+                    part += min_d2[i] * weights[i];
+                }
+                return part;
+            },
+            [](double &&a, double &&b) { return a + b; });
         if (total <= 0.0) {
             // All points coincide with chosen centers; duplicate.
             result.centroids.push_back(points[rng.nextBounded(n)]);
@@ -83,11 +101,21 @@ kmeans(const std::vector<Point> &points,
         result.centroids.push_back(points[chosen]);
     }
 
+    /** Per-cluster weighted sums, reduced chunk-by-chunk. */
+    struct Accum
+    {
+        std::vector<Point> sums;
+        std::vector<double> wsum;
+    };
+
     result.assignment.assign(n, 0);
     for (int iter = 0; iter < max_iters; ++iter) {
-        bool changed = false;
-        // Assign.
-        for (size_t i = 0; i < n; ++i) {
+        // Assign: each point independently picks its nearest
+        // centroid, so any chunking yields identical assignments.
+        // The convergence flag only ever goes false -> true, making
+        // the write order irrelevant.
+        std::atomic<bool> changed{false};
+        pool.parallelFor(n, [&](size_t i) {
             int best = 0;
             double best_d = dist2(points[i], result.centroids[0]);
             for (int c = 1; c < k; ++c) {
@@ -99,25 +127,44 @@ kmeans(const std::vector<Point> &points,
             }
             if (result.assignment[i] != best) {
                 result.assignment[i] = best;
-                changed = true;
+                changed.store(true, std::memory_order_relaxed);
             }
-        }
-        if (!changed && iter > 0)
+        });
+        if (!changed.load() && iter > 0)
             break;
-        // Update.
-        std::vector<Point> sums((size_t)k, Point{});
-        std::vector<double> wsum((size_t)k, 0.0);
-        for (size_t i = 0; i < n; ++i) {
-            int c = result.assignment[i];
-            wsum[(size_t)c] += weights[i];
-            for (int d = 0; d < projectedDims; ++d)
-                sums[(size_t)c][d] += points[i][d] * weights[i];
-        }
+        // Update: per-chunk partial centroid sums combined in chunk
+        // order (deterministic FP tree; see reduceGrain).
+        Accum identity;
+        identity.sums.assign((size_t)k, Point{});
+        identity.wsum.assign((size_t)k, 0.0);
+        Accum acc = pool.parallelReduce<Accum>(
+            n, reduceGrain, identity,
+            [&](size_t begin, size_t end) {
+                Accum part;
+                part.sums.assign((size_t)k, Point{});
+                part.wsum.assign((size_t)k, 0.0);
+                for (size_t i = begin; i < end; ++i) {
+                    int c = result.assignment[i];
+                    part.wsum[(size_t)c] += weights[i];
+                    for (int d = 0; d < projectedDims; ++d)
+                        part.sums[(size_t)c][d] +=
+                            points[i][d] * weights[i];
+                }
+                return part;
+            },
+            [k](Accum &&a, Accum &&b) {
+                for (int c = 0; c < k; ++c) {
+                    a.wsum[(size_t)c] += b.wsum[(size_t)c];
+                    for (int d = 0; d < projectedDims; ++d)
+                        a.sums[(size_t)c][d] += b.sums[(size_t)c][d];
+                }
+                return std::move(a);
+            });
         for (int c = 0; c < k; ++c) {
-            if (wsum[(size_t)c] > 0.0) {
+            if (acc.wsum[(size_t)c] > 0.0) {
                 for (int d = 0; d < projectedDims; ++d)
                     result.centroids[(size_t)c][d] =
-                        sums[(size_t)c][d] / wsum[(size_t)c];
+                        acc.sums[(size_t)c][d] / acc.wsum[(size_t)c];
             } else {
                 // Re-seed an empty cluster on a random point.
                 result.centroids[(size_t)c] =
@@ -126,12 +173,19 @@ kmeans(const std::vector<Point> &points,
         }
     }
 
-    result.distortion = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-        result.distortion += weights[i] *
-            dist2(points[i],
-                  result.centroids[(size_t)result.assignment[i]]);
-    }
+    result.distortion = pool.parallelReduce<double>(
+        n, reduceGrain, 0.0,
+        [&](size_t begin, size_t end) {
+            double part = 0.0;
+            for (size_t i = begin; i < end; ++i) {
+                part += weights[i] *
+                    dist2(points[i],
+                          result
+                              .centroids[(size_t)result.assignment[i]]);
+            }
+            return part;
+        },
+        [](double &&a, double &&b) { return a + b; });
     return result;
 }
 
@@ -192,25 +246,34 @@ cluster(const std::vector<FeatureVector> &vectors,
     for (double w : weights)
         GT_ASSERT(w > 0.0, "non-positive interval weight");
 
+    sched::ThreadPool &pool =
+        options.pool ? *options.pool : sched::ThreadPool::global();
+
     size_t n = vectors.size();
-    std::vector<Point> points;
-    points.reserve(n);
-    for (const auto &vec : vectors)
-        points.push_back(project(vec));
+    std::vector<Point> points(n);
+    pool.parallelFor(n,
+                     [&](size_t i) { points[i] = project(vectors[i]); });
 
     int max_k = std::min<int>(options.maxK, (int)n);
     Rng rng(options.seed);
 
-    // Run k-means for every candidate k and score with BIC.
-    std::vector<KMeansResult> runs;
-    std::vector<double> bics;
-    runs.reserve((size_t)max_k);
-    for (int k = 1; k <= max_k; ++k) {
-        Rng fork = rng.fork();
-        runs.push_back(
-            kmeans(points, weights, k, options.maxIters, fork));
-        bics.push_back(bicScore(runs.back(), weights, k));
-    }
+    // Run k-means for every candidate k and score with BIC. Each
+    // candidate draws from split(k) of the seed stream, so the runs
+    // are independent tasks whose results cannot depend on execution
+    // order; the nested per-point loops share the same pool
+    // cooperatively.
+    std::vector<KMeansResult> runs((size_t)max_k);
+    std::vector<double> bics((size_t)max_k);
+    pool.parallelFor(
+        (size_t)max_k,
+        [&](size_t idx) {
+            int k = (int)idx + 1;
+            Rng sub = rng.split((uint64_t)k);
+            runs[idx] = kmeans(points, weights, k, options.maxIters,
+                               sub, pool);
+            bics[idx] = bicScore(runs[idx], weights, k);
+        },
+        1);
 
     // SimPoint's acceptance: the smallest k whose BIC reaches the
     // threshold fraction of the best BIC's range above the worst.

@@ -20,6 +20,7 @@
 
 #include "common/rng.hh"
 #include "core/features.hh"
+#include "sched/thread_pool.hh"
 
 namespace gt::core::simpoint
 {
@@ -67,6 +68,15 @@ struct ClusterOptions
      * best BIC's range above the worst (SimPoint's criterion).
      */
     double bicThreshold = 0.9;
+    /**
+     * Pool the candidate-k runs and the per-run assignment /
+     * centroid-update steps execute on (null = the process-wide
+     * pool). Results are bit-identical for every pool size: each
+     * candidate k draws from Rng::split(k) of the seed stream, and
+     * all floating-point reductions combine fixed-size chunks in
+     * chunk order (see ThreadPool::parallelReduce).
+     */
+    sched::ThreadPool *pool = nullptr;
 };
 
 /**

@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "cfl/tracer.hh"
@@ -35,7 +37,18 @@ struct DispatchRecord
     uint64_t syncEpoch = 0;
 };
 
-/** The whole profiled execution of one application. */
+/**
+ * The whole profiled execution of one application.
+ *
+ * **Thread safety:** a fully built TraceDatabase is immutable — the
+ * only mutating operation is build(), which returns by value — and
+ * every public accessor is const and touches no hidden caches or
+ * mutable members. Any number of scheduler tasks may therefore read
+ * one instance concurrently with no synchronization; the 30-config
+ * explorer and the fig8 validation fan-out rely on exactly this.
+ * Keep it that way: adding lazily-computed (mutable) state to this
+ * class requires revisiting every parallel caller.
+ */
 class TraceDatabase
 {
   public:
@@ -77,6 +90,14 @@ class TraceDatabase
     double secondsTotal = 0.0;
     uint64_t syncEpochs = 0;
 };
+
+// Compile-time spot checks of the concurrent-reader contract: const
+// access must hand out const views, never copies of hidden state.
+static_assert(
+    std::is_same_v<decltype(std::declval<const TraceDatabase &>()
+                                .dispatches()),
+                   const std::vector<DispatchRecord> &>,
+    "TraceDatabase::dispatches() must expose const storage");
 
 } // namespace gt::core
 

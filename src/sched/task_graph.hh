@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A small dependency-graph layer over ThreadPool.
+ *
+ * Build a graph of tasks with explicit dependency edges, then run()
+ * it: every task executes exactly once, no task starts before all
+ * of its predecessors finished, and independent tasks run
+ * concurrently on the pool. Used where a fan-out has real structure
+ * — e.g. fig8 validation profiles an application, then fans 15
+ * replay trials out behind that profile's completion.
+ *
+ * Determinism: ready tasks are released in creation (id) order, and
+ * when tasks fail, run() rethrows the exception of the
+ * lowest-numbered failed task after the whole graph has drained
+ * (successors of a failed task are cancelled, i.e. never run).
+ */
+
+#ifndef GT_SCHED_TASK_GRAPH_HH
+#define GT_SCHED_TASK_GRAPH_HH
+
+#include <cstdint>
+
+#include "sched/thread_pool.hh"
+
+namespace gt::sched
+{
+
+/** A one-shot dependency graph of tasks. */
+class TaskGraph
+{
+  public:
+    using TaskId = uint32_t;
+
+    /** Add a task; @p deps must all be ids returned earlier. */
+    TaskId add(std::function<void()> fn,
+               const std::vector<TaskId> &deps = {});
+
+    /** Declare that @p before must finish before @p after starts. */
+    void addEdge(TaskId before, TaskId after);
+
+    /** Number of tasks added so far. */
+    size_t size() const { return nodes.size(); }
+
+    /**
+     * Execute the graph on @p pool and block until every task has
+     * either run or been cancelled by a failed predecessor. A graph
+     * can only be run once. Rethrows the lowest-id failure, if any.
+     */
+    void run(ThreadPool &pool = ThreadPool::global());
+
+  private:
+    struct Node
+    {
+        std::function<void()> fn;
+        std::vector<TaskId> successors;
+        uint32_t numDeps = 0;
+    };
+
+    std::vector<Node> nodes;
+    bool ran = false;
+};
+
+} // namespace gt::sched
+
+#endif // GT_SCHED_TASK_GRAPH_HH
