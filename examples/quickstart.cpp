@@ -14,6 +14,7 @@
  *        honors GT_THREADS)
  */
 
+#include <cstring>
 #include <iostream>
 
 #include "common/table.hh"
@@ -50,11 +51,37 @@ profileWholeSuite()
     return 0;
 }
 
+void
+printUsage(std::ostream &os)
+{
+    os << "Usage: quickstart [workload-name|all]\n"
+          "\n"
+          "Profiles one bundled OpenCL workload (default\n"
+          "cb-throughput-juliaset) on the modeled Intel HD 4000 with\n"
+          "GT-Pin attached, or the whole suite with \"all\".\n"
+          "\n"
+          "Environment:\n"
+          "  GT_INTERP=switch|uops  GPU interpreter backend. \"uops\"\n"
+          "                         (default) runs the predecoded\n"
+          "                         micro-op interpreter with\n"
+          "                         superblock chaining; \"switch\"\n"
+          "                         selects the reference switch\n"
+          "                         interpreter. Results are bitwise\n"
+          "                         identical.\n"
+          "  GT_THREADS=N           Worker threads for \"all\"\n"
+          "                         (default: hardware concurrency).\n";
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                     std::strcmp(argv[1], "-h") == 0)) {
+        printUsage(std::cout);
+        return 0;
+    }
     std::string name =
         argc > 1 ? argv[1] : "cb-throughput-juliaset";
     if (name == "all")

@@ -15,6 +15,17 @@
  *    makes profiling applications with paper-scale dynamic
  *    instruction counts (10^11+) tractable.
  *
+ * Orthogonally to the mode, two interpreter *backends* implement both
+ * modes (selectable with GT_INTERP=switch|uops, default uops):
+ *
+ *  - Uops (default): binaries are predecoded at plan time into
+ *    operand-shape-specialized micro-ops chained into superblocks
+ *    (see isa/uop.hh) and dispatched through a flat function table.
+ *  - Switch: the original per-instruction opcode-switch interpreter,
+ *    kept as the reference the uop backend is differentially tested
+ *    against — both backends produce bitwise-identical profiles,
+ *    trace deltas, and block traces.
+ *
  * Instrumentation pseudo-instructions injected by the GT-Pin rewriter
  * execute in both modes, accumulating into the TraceBuffer, so
  * profiles are produced identically regardless of mode.
@@ -24,12 +35,14 @@
 #define GT_GPU_EXECUTOR_HH
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "gpu/device_config.hh"
 #include "gpu/exec_profile.hh"
 #include "gpu/memory.hh"
 #include "isa/slice.hh"
+#include "isa/uop.hh"
 
 namespace gt::gpu
 {
@@ -66,7 +79,11 @@ class Executor
   public:
     enum class Mode { Full, Fast };
 
+    /** Interpreter implementation (see the file comment). */
+    enum class Backend { Switch, Uops };
+
     Executor(const DeviceConfig &config, DeviceMemory &memory);
+    ~Executor();
 
     /**
      * Execute @p dispatch and return its profile.
@@ -95,6 +112,17 @@ class Executor
      */
     void setMaxExplicitThreads(uint64_t n) { maxExplicitThreads = n; }
 
+    /** Select the interpreter backend (default: defaultBackend()). */
+    void setBackend(Backend b) { backendSel = b; }
+
+    Backend backend() const { return backendSel; }
+
+    /** Process-wide default: GT_INTERP=switch|uops, else Uops. */
+    static Backend defaultBackend();
+
+    /** @return "switch" or "uops". */
+    static const char *backendName(Backend b);
+
     /** Relevance analysis for @p bin, computed once and cached. */
     const isa::Relevance &relevance(const isa::KernelBinary *bin);
 
@@ -116,25 +144,37 @@ class Executor
     /** Cached per-binary execution plan. */
     struct Plan
     {
-        /** Identity check so a recycled address never reuses a
-         * stale plan (name, block count, instruction count). */
-        std::string name;
+        /** Identity: the binary's generation stamp, plus shape as a
+         * belt-and-braces check against in-place mutation. */
+        uint64_t generation = 0;
         size_t numBlocks = 0;
         uint64_t numInstrs = 0;
 
         isa::Relevance rel;
+        /** Predecoded micro-op program (uop backend). */
+        isa::UopProgram prog;
         /** Issue cycles per block (application + instrumentation). */
         std::vector<double> blockCycles;
+        /** blockCycles flattened parallel to prog.members, so the uop
+         * backend's per-superblock accrual reads sequentially instead
+         * of chasing member -> block indirections. */
+        std::vector<double> memberCycles;
         /** Total instructions per block (for the runaway limit). */
         std::vector<uint64_t> blockInstrs;
         /** Indices of instructions evaluated in Fast mode, per block. */
         std::vector<std::vector<uint16_t>> relevantIdx;
+        /** Registers [0, clearRegs) may be read before written; reset
+         * zeroes exactly these (0 = the kernel reads no registers). */
+        uint16_t clearRegs = 0;
+        /** Kernel touches shared-local memory, so reset must clear
+         * the 16 KB local block; provably untouched => skipped. */
+        bool usesLocal = false;
     };
 
     const Plan &plan(const isa::KernelBinary *bin);
 
     /**
-     * Run one hardware thread.
+     * Run one hardware thread (switch backend).
      * @return issue cycles consumed by the thread.
      */
     double runThread(const Dispatch &dispatch, uint64_t thread_idx,
@@ -145,11 +185,34 @@ class Executor
                      std::vector<uint32_t> *block_trace = nullptr,
                      uint64_t trace_max_len = 0);
 
+    /**
+     * Run one hardware thread (uop backend). @p sb_counts is indexed
+     * by superblock, one increment per superblock entry; the caller
+     * expands entries over superblock members to recover exact
+     * per-block counts.
+     * @return issue cycles consumed by the thread.
+     */
+    double runThreadUops(const Dispatch &dispatch, uint64_t thread_idx,
+                         bool fast, const Plan &plan, ThreadCtx &ctx,
+                         std::vector<uint64_t> &sb_counts,
+                         std::vector<uint64_t> &trace_deltas,
+                         const MemAccessFn &mem_access,
+                         std::vector<uint32_t> *block_trace = nullptr,
+                         uint64_t trace_max_len = 0);
+
     const DeviceConfig config;
     DeviceMemory &memory;
     uint64_t threadInstrLimit = 200'000'000;
     uint64_t maxExplicitThreads = 1024;
+    Backend backendSel;
     std::unordered_map<const isa::KernelBinary *, Plan> plans;
+
+    /** Reusable per-run scratch: the architectural thread context and
+     * the per-thread count/delta accumulators, hoisted out of the
+     * per-simulated-thread loop. */
+    std::unique_ptr<ThreadCtx> ctxBuf;
+    std::vector<uint64_t> scratchCounts;
+    std::vector<uint64_t> scratchDeltas;
 };
 
 } // namespace gt::gpu

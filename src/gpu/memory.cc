@@ -36,45 +36,6 @@ DeviceMemory::resetAllocator()
 }
 
 void
-DeviceMemory::checkRange(uint64_t addr, uint64_t size) const
-{
-    if (addr + size > bytes.size() || addr + size < addr) {
-        panic("device memory access out of bounds: addr ", addr,
-              " size ", size, " capacity ", bytes.size());
-    }
-}
-
-uint8_t
-DeviceMemory::read8(uint64_t addr) const
-{
-    checkRange(addr, 1);
-    return bytes[addr];
-}
-
-uint32_t
-DeviceMemory::read32(uint64_t addr) const
-{
-    checkRange(addr, 4);
-    uint32_t v;
-    std::memcpy(&v, bytes.data() + addr, 4);
-    return v;
-}
-
-void
-DeviceMemory::write8(uint64_t addr, uint8_t value)
-{
-    checkRange(addr, 1);
-    bytes[addr] = value;
-}
-
-void
-DeviceMemory::write32(uint64_t addr, uint32_t value)
-{
-    checkRange(addr, 4);
-    std::memcpy(bytes.data() + addr, &value, 4);
-}
-
-void
 DeviceMemory::copyIn(uint64_t addr, const void *src, uint64_t size)
 {
     checkRange(addr, size);

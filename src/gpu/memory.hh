@@ -14,7 +14,10 @@
 #define GT_GPU_MEMORY_HH
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
+
+#include "common/logging.hh"
 
 namespace gt::gpu
 {
@@ -39,10 +42,38 @@ class DeviceMemory
     /** Bytes currently allocated. */
     uint64_t allocated() const { return bumpPtr; }
 
-    uint8_t read8(uint64_t addr) const;
-    uint32_t read32(uint64_t addr) const;
-    void write8(uint64_t addr, uint8_t value);
-    void write32(uint64_t addr, uint32_t value);
+    // Scalar accessors are inline: they sit on the interpreters'
+    // per-lane Send path, where an out-of-line call per access is
+    // measurable against the predecoded backend's dispatch cost.
+    uint8_t
+    read8(uint64_t addr) const
+    {
+        checkRange(addr, 1);
+        return bytes[addr];
+    }
+
+    uint32_t
+    read32(uint64_t addr) const
+    {
+        checkRange(addr, 4);
+        uint32_t v;
+        std::memcpy(&v, bytes.data() + addr, 4);
+        return v;
+    }
+
+    void
+    write8(uint64_t addr, uint8_t value)
+    {
+        checkRange(addr, 1);
+        bytes[addr] = value;
+    }
+
+    void
+    write32(uint64_t addr, uint32_t value)
+    {
+        checkRange(addr, 4);
+        std::memcpy(bytes.data() + addr, &value, 4);
+    }
 
     /** Bulk host<->device transfer helpers. */
     void copyIn(uint64_t addr, const void *src, uint64_t size);
@@ -50,7 +81,14 @@ class DeviceMemory
     void fill(uint64_t addr, uint8_t value, uint64_t size);
 
   private:
-    void checkRange(uint64_t addr, uint64_t size) const;
+    void
+    checkRange(uint64_t addr, uint64_t size) const
+    {
+        if (addr + size > bytes.size() || addr + size < addr) {
+            panic("device memory access out of bounds: addr ", addr,
+                  " size ", size, " capacity ", bytes.size());
+        }
+    }
 
     std::vector<uint8_t> bytes;
     uint64_t bumpPtr = 0;

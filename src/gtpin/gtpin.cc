@@ -32,6 +32,11 @@ GtPin::attach(ocl::GpuDriver &driver)
     // with history must not report that history as a delta.
     snapshot = driver.traceBuffer().raw();
 
+    inform("GT-Pin attached (", tools.size(), " tool",
+           tools.size() == 1 ? "" : "s", ", ",
+           gpu::Executor::backendName(driver.executor().backend()),
+           " interpreter backend)");
+
     // The initialization hook of Fig. 1: allocate the CPU/GPU-shared
     // trace buffer and, if any tool simulates caches from memory
     // traces, ask the driver for per-access visibility.

@@ -1,9 +1,18 @@
 #include "isa/kernel.hh"
 
+#include <atomic>
+
 #include "common/logging.hh"
 
 namespace gt::isa
 {
+
+uint64_t
+nextBinaryGeneration()
+{
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 uint64_t
 KernelBinary::staticInstrCount() const

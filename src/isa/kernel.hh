@@ -22,6 +22,13 @@ namespace gt::isa
 {
 
 /**
+ * @return the next value of a process-wide monotonic counter stamped
+ * onto every newly constructed KernelBinary. Never returns 0, so 0 can
+ * serve as an "absent" sentinel in caches.
+ */
+uint64_t nextBinaryGeneration();
+
+/**
  * A single-entry straight-line run of instructions.
  *
  * Successors are implicit: a terminator's target plus, for
@@ -72,6 +79,16 @@ struct KernelBinary
 
     /** Highest register index used, for verifier bounds checks. */
     uint16_t maxReg = 0;
+
+    /**
+     * Identity stamp, unique per constructed binary. Caches keyed on
+     * a binary's address must also compare generations: a re-JITted
+     * binary can land at a freed address with the same name and shape,
+     * and this stamp is what tells the two apart. Copies and
+     * assignments propagate the source's generation — the content is
+     * identical, so anything derived from it stays valid.
+     */
+    uint64_t generation = nextBinaryGeneration();
 
     /** Static instruction count (all blocks, incl. instrumentation). */
     uint64_t staticInstrCount() const;
