@@ -68,6 +68,13 @@ printUsage(std::ostream &os)
           "                         selects the reference switch\n"
           "                         interpreter. Results are bitwise\n"
           "                         identical.\n"
+          "  GT_FEATURES=map|flat   Feature-extraction backend for\n"
+          "                         subset selection. \"flat\"\n"
+          "                         (default) runs the columnar\n"
+          "                         engine with memoized projection;\n"
+          "                         \"map\" selects the reference\n"
+          "                         std::map extractor. Results are\n"
+          "                         bitwise identical.\n"
           "  GT_THREADS=N           Worker threads for \"all\"\n"
           "                         (default: hardware concurrency).\n";
 }

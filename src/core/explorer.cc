@@ -1,6 +1,9 @@
 #include "core/explorer.hh"
 
+#include <optional>
+
 #include "common/logging.hh"
+#include "core/feature_engine.hh"
 
 namespace gt::core
 {
@@ -8,28 +11,42 @@ namespace gt::core
 const ConfigResult &
 Exploration::result(IntervalScheme scheme, FeatureKind feature) const
 {
-    for (const ConfigResult &r : results) {
-        if (r.selection.scheme == scheme &&
-            r.selection.feature == feature) {
-            return r;
-        }
-    }
-    panic("configuration not present in exploration");
+    size_t idx = (size_t)scheme * numFeatureKinds + (size_t)feature;
+    GT_ASSERT(idx < results.size(),
+              "configuration not present in exploration");
+    const ConfigResult &r = results[idx];
+    GT_ASSERT(r.selection.scheme == scheme &&
+                  r.selection.feature == feature,
+              "exploration slot ", idx,
+              " holds the wrong configuration");
+    return r;
 }
 
 Exploration
 exploreConfigs(const TraceDatabase &db,
                const simpoint::ClusterOptions &options,
-               uint64_t target_instrs)
+               uint64_t target_instrs, const FeatureEngine *engine)
 {
     sched::ThreadPool &pool = options.pool
         ? *options.pool
         : sched::ThreadPool::global();
 
+    // One feature engine serves every evaluation: dispatch profiles
+    // are lowered once and projection rows derived once, before the
+    // fan-out, instead of 30 times inside it.
+    std::optional<FeatureEngine> local;
+    if (!engine) {
+        local.emplace(db);
+        engine = &*local;
+    }
+    GT_ASSERT(&engine->database() == &db,
+              "feature engine built over a different database");
+
     // All 30 (scheme, feature) evaluations read the same immutable
-    // TraceDatabase (const-qualified access only; see its class
-    // comment) and write disjoint slots in the paper's enumeration
-    // order, so the fan-out is bit-identical to the serial loop.
+    // TraceDatabase and FeatureEngine (const-qualified access only;
+    // see their class comments) and write disjoint slots in the
+    // paper's enumeration order, so the fan-out is bit-identical to
+    // the serial loop.
     constexpr size_t num_configs =
         (size_t)numIntervalSchemes * numFeatureKinds;
     Exploration ex;
@@ -42,7 +59,7 @@ exploreConfigs(const TraceDatabase &db,
             ConfigResult &r = ex.results[idx];
             r.selection = selectSubset(db, (IntervalScheme)s,
                                        (FeatureKind)f, options,
-                                       target_instrs);
+                                       target_instrs, engine);
             r.errorPct = selectionErrorPct(db, r.selection);
         },
         1);

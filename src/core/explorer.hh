@@ -37,17 +37,26 @@ struct ConfigResult
 /** All 30 configurations for one application. */
 struct Exploration
 {
+    /** Indexed scheme-major: slot scheme * numFeatureKinds +
+     * feature, the order exploreConfigs fills. */
     std::vector<ConfigResult> results;
 
     const ConfigResult &result(IntervalScheme scheme,
                                FeatureKind feature) const;
 };
 
-/** Evaluate all 30 configurations on one profiled application. */
+/**
+ * Evaluate all 30 configurations on one profiled application.
+ *
+ * @param engine shared feature engine over @p db; null builds one
+ *        up front. Either way a single engine (one dispatch-profile
+ *        lowering, one projection table) serves all 30 evaluations.
+ */
 Exploration exploreConfigs(
     const TraceDatabase &db,
     const simpoint::ClusterOptions &options = {},
-    uint64_t target_instrs = 0);
+    uint64_t target_instrs = 0,
+    const FeatureEngine *engine = nullptr);
 
 /** Fig. 6 policy: minimize error. */
 const ConfigResult &pickMinError(const Exploration &exploration);

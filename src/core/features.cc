@@ -1,8 +1,11 @@
 #include "core/features.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "common/logging.hh"
+#include "core/feature_engine.hh"
 
 namespace gt::core
 {
@@ -56,69 +59,8 @@ hasMemoryFeature(FeatureKind kind)
     }
 }
 
-void
-FeatureVector::add(uint64_t key, double value)
-{
-    if (value != 0.0)
-        data[key] += value;
-}
-
-double
-FeatureVector::l2norm() const
-{
-    double acc = 0.0;
-    for (const auto &[key, v] : data)
-        acc += v * v;
-    return std::sqrt(acc);
-}
-
-double
-FeatureVector::sum() const
-{
-    double acc = 0.0;
-    for (const auto &[key, v] : data)
-        acc += v;
-    return acc;
-}
-
-void
-FeatureVector::normalize()
-{
-    double total = sum();
-    if (total == 0.0)
-        return;
-    for (auto &[key, v] : data)
-        v /= total;
-}
-
-double
-FeatureVector::dot(const FeatureVector &other) const
-{
-    const auto &a = data;
-    const auto &b = other.data;
-    double acc = 0.0;
-    auto ia = a.begin();
-    auto ib = b.begin();
-    while (ia != a.end() && ib != b.end()) {
-        if (ia->first < ib->first) {
-            ++ia;
-        } else if (ib->first < ia->first) {
-            ++ib;
-        } else {
-            acc += ia->second * ib->second;
-            ++ia;
-            ++ib;
-        }
-    }
-    return acc;
-}
-
-namespace
-{
-
-/** Stable 64-bit mixing of event-identity components. */
 uint64_t
-mixKey(uint64_t a, uint64_t b, uint64_t c = 0, uint64_t d = 0)
+detail::mixFeatureKey(uint64_t a, uint64_t b, uint64_t c, uint64_t d)
 {
     uint64_t h = 0x9e3779b97f4a7c15ULL;
     for (uint64_t x : {a, b, c, d}) {
@@ -129,23 +71,104 @@ mixKey(uint64_t a, uint64_t b, uint64_t c = 0, uint64_t d = 0)
     return h;
 }
 
-// Tag values distinguishing the dimension families within a key.
-constexpr uint64_t tagBase = 1;
-constexpr uint64_t tagRead = 2;
-constexpr uint64_t tagWrite = 3;
-constexpr uint64_t tagReadWrite = 4;
-
-} // anonymous namespace
+void
+FeatureVector::add(uint64_t key, double value)
+{
+    if (value == 0.0)
+        return;
+    auto it = std::lower_bound(ks.begin(), ks.end(), key);
+    if (it != ks.end() && *it == key) {
+        vs[(size_t)(it - ks.begin())] += value;
+    } else {
+        vs.insert(vs.begin() + (it - ks.begin()), value);
+        ks.insert(it, key);
+    }
+}
 
 FeatureVector
-extractFeatures(const TraceDatabase &db, const Interval &interval,
-                FeatureKind kind)
+FeatureVector::fromSorted(std::vector<uint64_t> keys,
+                          std::vector<double> values)
 {
+    GT_ASSERT(keys.size() == values.size(),
+              "feature key/value column length mismatch");
+    GT_ASSERT(std::is_sorted(keys.begin(), keys.end()) &&
+                  std::adjacent_find(keys.begin(), keys.end()) ==
+                      keys.end(),
+              "feature keys must be strictly ascending");
+    FeatureVector vec;
+    vec.ks = std::move(keys);
+    vec.vs = std::move(values);
+    return vec;
+}
+
+double
+FeatureVector::l2norm() const
+{
+    double acc = 0.0;
+    for (double v : vs)
+        acc += v * v;
+    return std::sqrt(acc);
+}
+
+double
+FeatureVector::sum() const
+{
+    double acc = 0.0;
+    for (double v : vs)
+        acc += v;
+    return acc;
+}
+
+void
+FeatureVector::normalize()
+{
+    double total = sum();
+    if (total == 0.0)
+        return;
+    for (double &v : vs)
+        v /= total;
+}
+
+double
+FeatureVector::dot(const FeatureVector &other) const
+{
+    // Merge over the two ascending key columns.
+    double acc = 0.0;
+    size_t ia = 0, ib = 0;
+    while (ia < ks.size() && ib < other.ks.size()) {
+        if (ks[ia] < other.ks[ib]) {
+            ++ia;
+        } else if (other.ks[ib] < ks[ia]) {
+            ++ib;
+        } else {
+            acc += vs[ia] * other.vs[ib];
+            ++ia;
+            ++ib;
+        }
+    }
+    return acc;
+}
+
+FeatureVector
+extractFeaturesMap(const TraceDatabase &db, const Interval &interval,
+                   FeatureKind kind)
+{
+    using detail::mixFeatureKey;
+    using detail::tagBase;
+    using detail::tagRead;
+    using detail::tagReadWrite;
+    using detail::tagWrite;
+
     const auto &dispatches = db.dispatches();
     GT_ASSERT(interval.lastDispatch < dispatches.size(),
               "interval out of range");
 
-    FeatureVector vec;
+    std::map<uint64_t, double> data;
+    auto add = [&](uint64_t key, double value) {
+        if (value != 0.0)
+            data[key] += value;
+    };
+
     for (uint64_t i = interval.firstDispatch;
          i <= interval.lastDispatch; ++i) {
         const gtpin::DispatchProfile &p = dispatches[i].profile;
@@ -166,15 +189,16 @@ extractFeatures(const TraceDatabase &db, const Interval &interval,
               default:
                 break;
             }
-            uint64_t base = mixKey(p.kernelId, args, gws, tagBase);
+            uint64_t base = mixFeatureKey(p.kernelId, args, gws,
+                                          tagBase);
             // Instruction-count weighting: the kernel event counts
             // for the instructions it executed.
-            vec.add(base, (double)p.instrs);
+            add(base, (double)p.instrs);
             if (kind == FeatureKind::KN_RW) {
-                vec.add(mixKey(p.kernelId, 0, 0, tagRead),
-                        (double)p.bytesRead);
-                vec.add(mixKey(p.kernelId, 0, 0, tagWrite),
-                        (double)p.bytesWritten);
+                add(mixFeatureKey(p.kernelId, 0, 0, tagRead),
+                    (double)p.bytesRead);
+                add(mixFeatureKey(p.kernelId, 0, 0, tagWrite),
+                    (double)p.bytesWritten);
             }
             continue;
         }
@@ -185,7 +209,7 @@ extractFeatures(const TraceDatabase &db, const Interval &interval,
             if (count == 0)
                 continue;
             double weighted = (double)count * p.blockLens[b];
-            vec.add(mixKey(p.kernelId, b, 0, tagBase), weighted);
+            add(mixFeatureKey(p.kernelId, b, 0, tagBase), weighted);
 
             double read =
                 (double)count * p.blockReadBytes[b];
@@ -193,25 +217,47 @@ extractFeatures(const TraceDatabase &db, const Interval &interval,
                 (double)count * p.blockWriteBytes[b];
             switch (kind) {
               case FeatureKind::BB_R:
-                vec.add(mixKey(p.kernelId, b, 0, tagRead), read);
+                add(mixFeatureKey(p.kernelId, b, 0, tagRead), read);
                 break;
               case FeatureKind::BB_W:
-                vec.add(mixKey(p.kernelId, b, 0, tagWrite), written);
+                add(mixFeatureKey(p.kernelId, b, 0, tagWrite),
+                    written);
                 break;
               case FeatureKind::BB_R_W:
-                vec.add(mixKey(p.kernelId, b, 0, tagRead), read);
-                vec.add(mixKey(p.kernelId, b, 0, tagWrite), written);
+                add(mixFeatureKey(p.kernelId, b, 0, tagRead), read);
+                add(mixFeatureKey(p.kernelId, b, 0, tagWrite),
+                    written);
                 break;
               case FeatureKind::BB_RpW:
-                vec.add(mixKey(p.kernelId, b, 0, tagReadWrite),
-                        read + written);
+                add(mixFeatureKey(p.kernelId, b, 0, tagReadWrite),
+                    read + written);
                 break;
               default:
                 break;
             }
         }
     }
-    return vec;
+
+    std::vector<uint64_t> keys;
+    std::vector<double> values;
+    keys.reserve(data.size());
+    values.reserve(data.size());
+    for (const auto &[key, v] : data) {
+        keys.push_back(key);
+        values.push_back(v);
+    }
+    return FeatureVector::fromSorted(std::move(keys),
+                                     std::move(values));
+}
+
+FeatureVector
+extractFeatures(const TraceDatabase &db, const Interval &interval,
+                FeatureKind kind)
+{
+    if (defaultFeatureBackend() == FeatureBackend::Map)
+        return extractFeaturesMap(db, interval, kind);
+    FeatureEngine engine(db, FeatureBackend::Flat);
+    return engine.extract(interval, kind);
 }
 
 std::vector<FeatureVector>
@@ -219,14 +265,8 @@ extractAllFeatures(const TraceDatabase &db,
                    const std::vector<Interval> &intervals,
                    FeatureKind kind)
 {
-    std::vector<FeatureVector> vectors;
-    vectors.reserve(intervals.size());
-    for (const Interval &iv : intervals) {
-        FeatureVector vec = extractFeatures(db, iv, kind);
-        vec.normalize();
-        vectors.push_back(std::move(vec));
-    }
-    return vectors;
+    FeatureEngine engine(db);
+    return engine.extractAll(intervals, kind);
 }
 
 } // namespace gt::core

@@ -12,12 +12,20 @@
  * dimensions carrying the bytes read and/or written, so two
  * intervals running the same code on different data volumes
  * separate in feature space.
+ *
+ * Two extraction backends produce these vectors (selectable with
+ * GT_FEATURES=map|flat, default flat; see core/feature_engine.hh):
+ * the original per-interval walk into a std::map, kept as the
+ * reference oracle, and the columnar DispatchFeatureCache engine
+ * that lowers each dispatch profile once and merges per-dispatch
+ * contributions. Both produce bitwise-identical vectors.
  */
 
 #ifndef GT_CORE_FEATURES_HH
 #define GT_CORE_FEATURES_HH
 
-#include <map>
+#include <cstdint>
+#include <vector>
 
 #include "core/interval.hh"
 
@@ -50,14 +58,38 @@ bool isBlockFeature(FeatureKind kind);
 /** @return true for the kinds with memory-traffic dimensions. */
 bool hasMemoryFeature(FeatureKind kind);
 
+namespace detail
+{
+
+/** Stable 64-bit mixing of event-identity components. */
+uint64_t mixFeatureKey(uint64_t a, uint64_t b, uint64_t c = 0,
+                       uint64_t d = 0);
+
+// Tag values distinguishing the dimension families within a key.
+constexpr uint64_t tagBase = 1;
+constexpr uint64_t tagRead = 2;
+constexpr uint64_t tagWrite = 3;
+constexpr uint64_t tagReadWrite = 4;
+
+} // namespace detail
+
 /**
  * A sparse feature vector. Keys are stable 64-bit identities of
  * program events; values are instruction-count-weighted occurrence
  * counts (or byte volumes for memory dimensions).
+ *
+ * Representation: structure-of-arrays, keys ascending — keys()[i]
+ * pairs with values()[i]. Every operation iterates in ascending-key
+ * order, the same order the historical std::map representation
+ * iterated in, so sums, norms, and dot products are bitwise
+ * identical to that reference. add() accumulates per key in call
+ * order, matching the map's per-key `operator[] +=` semantics.
  */
 class FeatureVector
 {
   public:
+    /** Accumulate @p value into @p key (zero values are dropped,
+     * matching the historical map behavior). */
     void add(uint64_t key, double value);
 
     double l2norm() const;
@@ -68,22 +100,52 @@ class FeatureVector
     double
     dot(const FeatureVector &other) const;
 
-    const std::map<uint64_t, double> &entries() const { return data; }
+    const std::vector<uint64_t> &keys() const { return ks; }
+    const std::vector<double> &values() const { return vs; }
 
-    size_t dims() const { return data.size(); }
+    size_t dims() const { return ks.size(); }
 
     double sum() const;
 
+    bool operator==(const FeatureVector &other) const = default;
+
+    /**
+     * Bulk construction from pre-merged columns. @p keys must be
+     * strictly ascending and pair index-wise with @p values; this is
+     * the fast path the DispatchFeatureCache and the map oracle
+     * (whose std::map already iterates ascending) both use.
+     */
+    static FeatureVector fromSorted(std::vector<uint64_t> keys,
+                                    std::vector<double> values);
+
   private:
-    std::map<uint64_t, double> data;
+    std::vector<uint64_t> ks;
+    std::vector<double> vs;
 };
 
-/** Extract the @p kind feature vector of @p interval. */
+/**
+ * Extract the @p kind feature vector of @p interval with the
+ * process-default backend (GT_FEATURES). One-shot convenience: the
+ * flat backend lowers the whole database per call, so loops over
+ * many intervals should use a core::FeatureEngine (or
+ * extractAllFeatures) instead.
+ */
 FeatureVector extractFeatures(const TraceDatabase &db,
                               const Interval &interval,
                               FeatureKind kind);
 
-/** Extract vectors for all intervals (normalized). */
+/**
+ * Reference oracle: walk the interval's dispatch profiles into an
+ * ordered map, exactly as the original implementation did. The flat
+ * engine is differentially tested against this path
+ * (tests/test_feature_engine.cc).
+ */
+FeatureVector extractFeaturesMap(const TraceDatabase &db,
+                                 const Interval &interval,
+                                 FeatureKind kind);
+
+/** Extract vectors for all intervals (normalized), sharing one
+ * engine across the loop. */
 std::vector<FeatureVector>
 extractAllFeatures(const TraceDatabase &db,
                    const std::vector<Interval> &intervals,

@@ -40,8 +40,15 @@ buildIntervals(const TraceDatabase &db, IntervalScheme scheme,
     Interval cur;
     bool open = false;
 
+    // Interval accounting rides the database's precomputed columns:
+    // the instruction prefix sums make both the boundary check and
+    // the closed interval's count O(1) (exact — integer), and the
+    // dense seconds column keeps the per-interval time the same
+    // left-to-right accumulation as before, bitwise.
     auto close = [&](uint64_t last) {
         cur.lastDispatch = last;
+        cur.instrs = db.rangeInstrs(cur.firstDispatch, last);
+        cur.seconds = db.rangeSeconds(cur.firstDispatch, last);
         intervals.push_back(cur);
         open = false;
     };
@@ -63,7 +70,8 @@ buildIntervals(const TraceDatabase &db, IntervalScheme scheme,
                 // the "approximately" in the paper's name.
                 boundary = rec.syncEpoch !=
                         dispatches[cur.firstDispatch].syncEpoch ||
-                    cur.instrs >= target_instrs;
+                    db.rangeInstrs(cur.firstDispatch, i - 1) >=
+                        target_instrs;
                 break;
               case IntervalScheme::SingleKernel:
                 boundary = true;
@@ -78,8 +86,6 @@ buildIntervals(const TraceDatabase &db, IntervalScheme scheme,
             cur.firstDispatch = i;
             open = true;
         }
-        cur.instrs += rec.profile.instrs;
-        cur.seconds += rec.seconds;
     }
     if (open)
         close(dispatches.size() - 1);

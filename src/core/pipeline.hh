@@ -53,7 +53,11 @@ struct AppCharacterization
     uint64_t bytesWritten = 0;
 };
 
-/** The result of one profiled native run. */
+/** The result of one profiled native run. All selection
+ * post-processing (exploreConfigs, selectSubset, the fig5–fig8
+ * studies) runs off the immutable `db`; callers doing repeated
+ * extraction should build one core::FeatureEngine over it and pass
+ * that engine through, so the dispatch profiles are lowered once. */
 struct ProfiledApp
 {
     std::string name;

@@ -1,8 +1,10 @@
 #include "core/selection.hh"
 
 #include <cmath>
+#include <optional>
 
 #include "common/logging.hh"
+#include "core/feature_engine.hh"
 
 namespace gt::core
 {
@@ -26,15 +28,25 @@ SubsetSelection
 selectSubset(const TraceDatabase &db, IntervalScheme scheme,
              FeatureKind feature,
              const simpoint::ClusterOptions &options,
-             uint64_t target_instrs)
+             uint64_t target_instrs, const FeatureEngine *engine)
 {
+    std::optional<FeatureEngine> local;
+    if (!engine) {
+        local.emplace(db);
+        engine = &*local;
+    }
+    GT_ASSERT(&engine->database() == &db,
+              "feature engine built over a different database");
+
     SubsetSelection sel;
     sel.scheme = scheme;
     sel.feature = feature;
     sel.intervals = buildIntervals(db, scheme, target_instrs);
 
-    std::vector<FeatureVector> vectors =
-        extractAllFeatures(db, sel.intervals, feature);
+    // The engine projects straight off its columns; the clusterer
+    // never sees the sparse vectors.
+    std::vector<simpoint::Point> points =
+        engine->projectAll(sel.intervals, feature);
 
     std::vector<double> weights;
     weights.reserve(sel.intervals.size());
@@ -42,7 +54,7 @@ selectSubset(const TraceDatabase &db, IntervalScheme scheme,
         weights.push_back(std::max<double>(1.0, (double)iv.instrs));
 
     simpoint::Clustering clustering =
-        simpoint::cluster(vectors, weights, options);
+        simpoint::clusterPoints(points, weights, options);
 
     sel.selected = clustering.representative;
     sel.ratios = clustering.weight;
@@ -61,16 +73,11 @@ void
 intervalOn(const TraceDatabase &db, const Interval &iv,
            uint64_t &instrs, double &seconds)
 {
-    const auto &dispatches = db.dispatches();
-    GT_ASSERT(iv.lastDispatch < dispatches.size(),
+    GT_ASSERT(iv.lastDispatch < db.numDispatches(),
               "selection does not fit this trial's trace (",
-              dispatches.size(), " dispatches)");
-    instrs = 0;
-    seconds = 0.0;
-    for (uint64_t i = iv.firstDispatch; i <= iv.lastDispatch; ++i) {
-        instrs += dispatches[i].profile.instrs;
-        seconds += dispatches[i].seconds;
-    }
+              db.numDispatches(), " dispatches)");
+    instrs = db.rangeInstrs(iv.firstDispatch, iv.lastDispatch);
+    seconds = db.rangeSeconds(iv.firstDispatch, iv.lastDispatch);
 }
 
 } // anonymous namespace

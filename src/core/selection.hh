@@ -27,6 +27,8 @@
 namespace gt::core
 {
 
+class FeatureEngine;
+
 /** A chosen simulation subset for one application. */
 struct SubsetSelection
 {
@@ -59,12 +61,18 @@ struct SubsetSelection
  *
  * @param target_instrs ApproxInstructions chunk size (0 = default,
  *        see buildIntervals()).
+ * @param engine shared feature engine to extract through; must have
+ *        been built over @p db. Null builds a private engine — fine
+ *        for one-off calls, wasteful in a fan-out (the explorer
+ *        passes one engine to all 30 configurations). The engine's
+ *        memoized projection table is also handed to the clusterer.
  */
 SubsetSelection
 selectSubset(const TraceDatabase &db, IntervalScheme scheme,
              FeatureKind feature,
              const simpoint::ClusterOptions &options = {},
-             uint64_t target_instrs = 0);
+             uint64_t target_instrs = 0,
+             const FeatureEngine *engine = nullptr);
 
 /**
  * Projected whole-program SPI of @p selection evaluated on @p db —

@@ -64,39 +64,71 @@ kmeans(const std::vector<Point> &points,
 
     // k-means++ initialization (weighted). The distance refresh and
     // its weighted total parallelize per chunk; the draw itself stays
-    // sequential on the per-run RNG stream.
+    // sequential on the per-run RNG stream. The per-chunk partial
+    // sums the reduction already produces are kept and reused to
+    // locate the weighted draw, so only the one chunk containing the
+    // crossing is rescanned instead of the whole population. The
+    // chunk layout is a function of n alone, so both the total and
+    // the picked index are bit-identical at every thread count.
     std::vector<double> min_d2(n,
                                std::numeric_limits<double>::max());
+    size_t num_chunks = (n + reduceGrain - 1) / reduceGrain;
+    std::vector<double> partials(num_chunks, 0.0);
     size_t first = rng.nextBounded(n);
     result.centroids.push_back(points[first]);
     while (result.centroids.size() < (size_t)k) {
         const Point &latest = result.centroids.back();
-        double total = pool.parallelReduce<double>(
-            n, reduceGrain, 0.0,
-            [&](size_t begin, size_t end) {
+        pool.parallelFor(
+            num_chunks,
+            [&](size_t c) {
+                size_t begin = c * reduceGrain;
+                size_t end = std::min(n, begin + reduceGrain);
                 double part = 0.0;
                 for (size_t i = begin; i < end; ++i) {
                     min_d2[i] = std::min(min_d2[i],
                                          dist2(points[i], latest));
                     part += min_d2[i] * weights[i];
                 }
-                return part;
+                partials[c] = part;
             },
-            [](double &&a, double &&b) { return a + b; });
+            1);
+        // Combine in ascending chunk order, exactly as
+        // parallelReduce would.
+        double total = 0.0;
+        for (double part : partials)
+            total += part;
         if (total <= 0.0) {
             // All points coincide with chosen centers; duplicate.
             result.centroids.push_back(points[rng.nextBounded(n)]);
             continue;
         }
         double pick = rng.nextDouble() * total;
-        double acc = 0.0;
+        // Walk the chunk partials to the chunk whose cumulative mass
+        // reaches the draw, then rescan only that chunk. The
+        // cumulative base advances by whole-chunk partials, so the
+        // crossing test sees one fixed accumulation tree; if the
+        // element-order rescan falls short of the partial-predicted
+        // crossing by rounding, the walk continues into the next
+        // chunk, still deterministically.
+        double base = 0.0;
         size_t chosen = n - 1;
-        for (size_t i = 0; i < n; ++i) {
-            acc += min_d2[i] * weights[i];
-            if (acc >= pick) {
-                chosen = i;
-                break;
+        bool found = false;
+        for (size_t c = 0; c < num_chunks && !found; ++c) {
+            double after = base + partials[c];
+            if (after >= pick || c + 1 == num_chunks) {
+                size_t begin = c * reduceGrain;
+                size_t end = std::min(n, begin + reduceGrain);
+                double acc = base;
+                for (size_t i = begin; i < end; ++i) {
+                    acc += min_d2[i] * weights[i];
+                    if (acc >= pick) {
+                        chosen = i;
+                        found = true;
+                        break;
+                    }
+                }
             }
+            base = after;
         }
         result.centroids.push_back(points[chosen]);
     }
@@ -224,13 +256,47 @@ bicScore(const KMeansResult &km, const std::vector<double> &weights,
 
 } // anonymous namespace
 
+ProjectionTable
+ProjectionTable::build(const std::vector<uint64_t> &keys)
+{
+    GT_ASSERT(std::is_sorted(keys.begin(), keys.end()),
+              "projection table keys must be ascending");
+    ProjectionTable table;
+    table.keyIndex = keys;
+    table.rows.resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+        for (int d = 0; d < projectedDims; ++d)
+            table.rows[i][d] = projectionCoeff(keys[i], d);
+    }
+    return table;
+}
+
+const Point *
+ProjectionTable::row(uint64_t key) const
+{
+    auto it = std::lower_bound(keyIndex.begin(), keyIndex.end(), key);
+    if (it == keyIndex.end() || *it != key)
+        return nullptr;
+    return &rows[(size_t)(it - keyIndex.begin())];
+}
+
 Point
-project(const FeatureVector &vec)
+project(const FeatureVector &vec, const ProjectionTable *table)
 {
     Point p{};
-    for (const auto &[key, value] : vec.entries()) {
-        for (int d = 0; d < projectedDims; ++d)
-            p[d] += value * projectionCoeff(key, d);
+    const std::vector<uint64_t> &keys = vec.keys();
+    const std::vector<double> &values = vec.values();
+    for (size_t i = 0; i < keys.size(); ++i) {
+        if (table) {
+            const Point *row = table->row(keys[i]);
+            GT_ASSERT(row, "projection table is missing key ",
+                      keys[i]);
+            for (int d = 0; d < projectedDims; ++d)
+                p[d] += values[i] * (*row)[d];
+        } else {
+            for (int d = 0; d < projectedDims; ++d)
+                p[d] += values[i] * projectionCoeff(keys[i], d);
+        }
     }
     return p;
 }
@@ -243,17 +309,33 @@ cluster(const std::vector<FeatureVector> &vectors,
     GT_ASSERT(!vectors.empty(), "clustering an empty population");
     GT_ASSERT(vectors.size() == weights.size(),
               "vectors/weights size mismatch");
-    for (double w : weights)
-        GT_ASSERT(w > 0.0, "non-positive interval weight");
 
     sched::ThreadPool &pool =
         options.pool ? *options.pool : sched::ThreadPool::global();
 
     size_t n = vectors.size();
     std::vector<Point> points(n);
-    pool.parallelFor(n,
-                     [&](size_t i) { points[i] = project(vectors[i]); });
+    pool.parallelFor(n, [&](size_t i) {
+        points[i] = project(vectors[i], options.projection);
+    });
+    return clusterPoints(points, weights, options);
+}
 
+Clustering
+clusterPoints(const std::vector<Point> &points,
+              const std::vector<double> &weights,
+              const ClusterOptions &options)
+{
+    GT_ASSERT(!points.empty(), "clustering an empty population");
+    GT_ASSERT(points.size() == weights.size(),
+              "points/weights size mismatch");
+    for (double w : weights)
+        GT_ASSERT(w > 0.0, "non-positive interval weight");
+
+    sched::ThreadPool &pool =
+        options.pool ? *options.pool : sched::ThreadPool::global();
+
+    size_t n = points.size();
     int max_k = std::min<int>(options.maxK, (int)n);
     Rng rng(options.seed);
 

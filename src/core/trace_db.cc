@@ -41,11 +41,15 @@ TraceDatabase::build(std::vector<gtpin::DispatchProfile> profiles,
 
     TraceDatabase db;
     db.records.reserve(profiles.size());
+    db.instrPrefix.reserve(profiles.size() + 1);
+    db.instrPrefix.push_back(0);
+    db.secondsCol.reserve(profiles.size());
     for (size_t i = 0; i < profiles.size(); ++i) {
         GT_ASSERT(profiles[i].seq == timings[i].seq,
                   "profile/timing sequence mismatch at index ", i);
         DispatchRecord rec;
         rec.profile = std::move(profiles[i]);
+        rec.profile.checkShape();
         rec.seconds = timings[i].seconds;
         auto it = epoch_of.find(rec.profile.seq);
         GT_ASSERT(it != epoch_of.end(),
@@ -54,6 +58,9 @@ TraceDatabase::build(std::vector<gtpin::DispatchProfile> profiles,
         rec.syncEpoch = it->second;
         db.instrTotal += rec.profile.instrs;
         db.secondsTotal += rec.seconds;
+        db.instrPrefix.push_back(db.instrPrefix.back() +
+                                 rec.profile.instrs);
+        db.secondsCol.push_back(rec.seconds);
         db.records.push_back(std::move(rec));
     }
 
@@ -70,6 +77,25 @@ TraceDatabase::build(std::vector<gtpin::DispatchProfile> profiles,
     if (!db.records.empty())
         db.syncEpochs = db.records.back().syncEpoch + 1;
     return db;
+}
+
+uint64_t
+TraceDatabase::rangeInstrs(uint64_t first, uint64_t last) const
+{
+    GT_ASSERT(first <= last && last < records.size(),
+              "instr range [", first, ", ", last, "] out of range");
+    return instrPrefix[last + 1] - instrPrefix[first];
+}
+
+double
+TraceDatabase::rangeSeconds(uint64_t first, uint64_t last) const
+{
+    GT_ASSERT(first <= last && last < records.size(),
+              "seconds range [", first, ", ", last, "] out of range");
+    double acc = 0.0;
+    for (uint64_t i = first; i <= last; ++i)
+        acc += secondsCol[i];
+    return acc;
 }
 
 double

@@ -47,7 +47,9 @@ struct DispatchRecord
  * one instance concurrently with no synchronization; the 30-config
  * explorer and the fig8 validation fan-out rely on exactly this.
  * Keep it that way: adding lazily-computed (mutable) state to this
- * class requires revisiting every parallel caller.
+ * class requires revisiting every parallel caller. The per-dispatch
+ * prefix sums and the dense seconds column below are computed
+ * eagerly by build() for the same reason.
  */
 class TraceDatabase
 {
@@ -79,6 +81,29 @@ class TraceDatabase
     uint64_t numSyncEpochs() const { return syncEpochs; }
 
     /**
+     * Dynamic instructions of dispatches [first, last], both
+     * inclusive. O(1): integer prefix sums are exact, so the
+     * subtraction equals the ordered sum the interval builder and
+     * error replays used to re-accumulate.
+     */
+    uint64_t rangeInstrs(uint64_t first, uint64_t last) const;
+
+    /**
+     * Kernel seconds of dispatches [first, last], both inclusive.
+     * Accumulated left-to-right over the dense seconds column — NOT
+     * a prefix-sum subtraction, which would not be bitwise identical
+     * to the ordered sum for doubles.
+     */
+    double rangeSeconds(uint64_t first, uint64_t last) const;
+
+    /** Per-dispatch kernel seconds as one dense column (same values
+     * as dispatches()[i].seconds, cache-friendly to scan). */
+    const std::vector<double> &secondsColumn() const
+    {
+        return secondsCol;
+    }
+
+    /**
      * Whole-program measured seconds-per-instruction: the left side
      * of the paper's Eq. 1.
      */
@@ -86,6 +111,8 @@ class TraceDatabase
 
   private:
     std::vector<DispatchRecord> records;
+    std::vector<uint64_t> instrPrefix; //!< numDispatches + 1 entries
+    std::vector<double> secondsCol;    //!< per-dispatch seconds
     uint64_t instrTotal = 0;
     double secondsTotal = 0.0;
     uint64_t syncEpochs = 0;

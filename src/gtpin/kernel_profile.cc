@@ -6,6 +6,18 @@ namespace gt::gtpin
 {
 
 void
+DispatchProfile::checkShape() const
+{
+    GT_ASSERT(blockLens.size() == blockCounts.size() &&
+                  blockReadBytes.size() == blockCounts.size() &&
+                  blockWriteBytes.size() == blockCounts.size(),
+              "dispatch ", seq, " has ragged per-block arrays: ",
+              blockCounts.size(), " counts, ", blockLens.size(),
+              " lens, ", blockReadBytes.size(), " read, ",
+              blockWriteBytes.size(), " write");
+}
+
+void
 KernelProfileTool::onKernelBuild(uint32_t kernel_id,
                                  Instrumenter &instrumenter)
 {

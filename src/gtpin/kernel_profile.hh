@@ -50,6 +50,14 @@ struct DispatchProfile
     /** Dynamic bytes moved by this invocation. */
     uint64_t bytesRead = 0;
     uint64_t bytesWritten = 0;
+
+    /** Basic blocks in this invocation's kernel. */
+    size_t numBlocks() const { return blockCounts.size(); }
+
+    /** Assert the four per-block arrays agree in length — the shape
+     * contract every indexed consumer (feature lowering, the BB
+     * extractors) relies on. */
+    void checkShape() const;
 };
 
 /** Collects DispatchProfiles for every kernel invocation. */

@@ -90,7 +90,7 @@ TEST_P(FeatureKindTest, ExtractsNonEmptyNormalizedVectors)
     for (const FeatureVector &vec : vectors) {
         EXPECT_GT(vec.dims(), 0u);
         EXPECT_NEAR(vec.sum(), 1.0, 1e-9);
-        for (const auto &[key, v] : vec.entries())
+        for (double v : vec.values())
             EXPECT_GE(v, 0.0);
     }
 }
@@ -105,7 +105,7 @@ TEST_P(FeatureKindTest, IdenticalIntervalsProduceIdenticalVectors)
         buildIntervals(db, IntervalScheme::SyncBounded);
     FeatureVector a = extractFeatures(db, intervals[0], GetParam());
     FeatureVector b = extractFeatures(db, intervals[0], GetParam());
-    EXPECT_EQ(a.entries(), b.entries());
+    EXPECT_EQ(a, b);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -221,9 +221,7 @@ TEST(Features, WeightingByInstructionCount)
     FeatureVector vec =
         extractFeatures(db, whole, FeatureKind::BB);
     ASSERT_EQ(vec.dims(), 2u);
-    std::vector<double> values;
-    for (const auto &[key, v] : vec.entries())
-        values.push_back(v);
+    std::vector<double> values = vec.values();
     double lo = std::min(values[0], values[1]);
     double hi = std::max(values[0], values[1]);
     EXPECT_DOUBLE_EQ(lo, 30.0);  // A: 10 x 3
