@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Memory-trace delivery benchmark: the per-access callback oracle vs.
+ * the batched SoA pipeline (GT_MEMTRACE=callback|batch), measured on
+ * cache-sim-enabled profiling — a GT-Pin stack with CacheSimTool
+ * attached, dispatching memory-heavy kernel templates through the
+ * driver exactly as production profiling does.
+ *
+ * The paired timings yield per-template speedups and a geometric-mean
+ * speedup, written to BENCH_memtrace.json (and summarized on stdout)
+ * so the README's perf numbers are reproducible with:
+ *
+ *     build/bench/memtrace
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "gtpin/cache_sim.hh"
+#include "gtpin/gtpin.hh"
+#include "ocl/runtime.hh"
+#include "workloads/templates.hh"
+
+using namespace gt;
+
+namespace
+{
+
+/** Leading template parameter (trip count / size knob) per case. */
+constexpr int64_t leadingParam = 8;
+
+/** Work items per dispatch (256 hardware threads at SIMD16). */
+constexpr uint64_t benchGlobalSize = 16 * 256;
+
+/** Memory-heavy subset of the template library: cache simulation is
+ * only enabled when global-memory address traces matter, so the
+ * benchmark covers the templates whose dispatch cost is dominated by
+ * traced (global) accesses, not compute (hash, julia) or local
+ * memory (histogram, scan). */
+const std::vector<std::string> benchTemplates = {
+    "stream", "blur", "effect", "blend", "matmul",
+    "reduce", "lut",  "fft",    "flow",
+};
+
+void
+runTrace(benchmark::State &state, const std::string &tmpl,
+         gtpin::GtPin::MemTraceMode mode)
+{
+    setLogQuiet(true);
+    workloads::TemplateJit jit;
+    gpu::TrialConfig trial;
+    trial.noiseSigma = 0.0;
+    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit, trial);
+
+    gtpin::CacheSimTool tool(4ull << 20, 16, 64);
+    gtpin::GtPin pin;
+    pin.setMemTraceMode(mode);
+    pin.addTool(&tool);
+    pin.attach(driver);
+
+    ocl::ClRuntime rt(driver);
+    ocl::Context ctx = rt.createContext();
+    ocl::CommandQueue q = rt.createCommandQueue(ctx);
+    isa::KernelSource src;
+    src.name = "bench_" + tmpl;
+    src.templateName = tmpl;
+    src.params = {leadingParam};
+    ocl::Program prog = rt.createProgramWithSource(ctx, {src});
+    rt.buildProgram(prog);
+    ocl::Kernel k = rt.createKernel(prog, src.name);
+    ocl::Mem buf = rt.createBuffer(ctx, 4 << 20);
+    const isa::KernelBinary &bin = driver.binary(0);
+    for (uint32_t a = 0; a < bin.numArgs; ++a)
+        rt.setKernelArg(k, a, buf);
+
+    for (auto _ : state) {
+        rt.enqueueNDRangeKernel(q, k, benchGlobalSize);
+        rt.finish(q);
+        benchmark::DoNotOptimize(tool.cache().accesses());
+    }
+    state.counters["cache_accesses_per_s"] = benchmark::Counter(
+        (double)tool.cache().accesses(), benchmark::Counter::kIsRate);
+    pin.detach();
+}
+
+/** Captures adjusted per-iteration real time for every finished run
+ * on top of the normal console output. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            std::string name = run.benchmark_name();
+            if (size_t pos = name.find("/min_time");
+                pos != std::string::npos) {
+                name.resize(pos);
+            }
+            times[name] = run.GetAdjustedRealTime();
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::map<std::string, double> times;
+};
+
+std::string
+caseName(const std::string &tmpl, const char *mode)
+{
+    return "memtrace/" + tmpl + "/" + mode;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    const std::pair<const char *, gtpin::GtPin::MemTraceMode> modes[] =
+        {
+            {"callback", gtpin::GtPin::MemTraceMode::Callback},
+            {"batch", gtpin::GtPin::MemTraceMode::Batch},
+        };
+
+    for (const std::string &tmpl : benchTemplates) {
+        for (const auto &[mode_name, mode] : modes) {
+            benchmark::RegisterBenchmark(
+                caseName(tmpl, mode_name).c_str(),
+                [tmpl, mode](benchmark::State &st) {
+                    runTrace(st, tmpl, mode);
+                })
+                ->MinTime(0.1)
+                ->Unit(benchmark::kMicrosecond);
+        }
+    }
+
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    // Pair up the timings: speedup = callback time / batch time.
+    std::ofstream json("BENCH_memtrace.json");
+    json << "{\n  \"benchmarks\": [\n";
+    double log_sum = 0.0;
+    int count = 0;
+    bool first = true;
+    for (const std::string &tmpl : benchTemplates) {
+        auto cb = reporter.times.find(caseName(tmpl, "callback"));
+        auto bt = reporter.times.find(caseName(tmpl, "batch"));
+        if (cb == reporter.times.end() || bt == reporter.times.end())
+            continue;
+        double speedup = cb->second / bt->second;
+        log_sum += std::log(speedup);
+        ++count;
+        if (!first)
+            json << ",\n";
+        first = false;
+        json << "    {\"template\": \"" << tmpl
+             << "\", \"callback_ns\": " << cb->second
+             << ", \"batch_ns\": " << bt->second
+             << ", \"speedup\": " << speedup << "}";
+    }
+    json << "\n  ]";
+    std::cout << "\n";
+    if (count > 0) {
+        double geomean = std::exp(log_sum / count);
+        json << ",\n  \"geomean_speedup\": " << geomean;
+        std::cout << "geomean speedup (batch vs callback delivery): "
+                  << geomean << "x\n";
+    }
+    json << "\n}\n";
+    std::cout << "wrote BENCH_memtrace.json\n";
+    return 0;
+}

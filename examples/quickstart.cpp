@@ -75,6 +75,15 @@ printUsage(std::ostream &os)
           "                         \"map\" selects the reference\n"
           "                         std::map extractor. Results are\n"
           "                         bitwise identical.\n"
+          "  GT_MEMTRACE=callback|batch\n"
+          "                         Memory-trace delivery for\n"
+          "                         address-needing tools (cache\n"
+          "                         simulation). \"batch\" (default)\n"
+          "                         buffers accesses in SoA chunks\n"
+          "                         and delivers them in bulk;\n"
+          "                         \"callback\" invokes the\n"
+          "                         per-access oracle. Results are\n"
+          "                         bitwise identical.\n"
           "  GT_THREADS=N           Worker threads for \"all\"\n"
           "                         (default: hardware concurrency).\n";
 }

@@ -198,6 +198,7 @@ struct UopSt
     std::vector<uint32_t> *callStack;
     DeviceMemory *memory;
     const MemAccessFn *memAccess;
+    MemTraceSink *memSink;
     uint64_t *deltas;
     size_t numDeltas;
     const KernelBinary *bin;
@@ -474,7 +475,12 @@ uopSend(const Uop *up, UopSt &st)
             } else {
                 st.regs[u.dst][l] = st.memory->read32(addr);
             }
-            if (st.memAccess)
+            // Trace delivery: batched SoA append (hot default) or the
+            // per-access callback oracle. Local sends never reach the
+            // trace in either mode.
+            if (st.memSink)
+                st.memSink->append(addr, bytes, IsWrite);
+            else if (st.memAccess)
                 (*st.memAccess)(addr, bytes, IsWrite);
         }
     }
@@ -856,9 +862,11 @@ Executor::relevance(const KernelBinary *bin)
 
 ExecProfile
 Executor::run(const Dispatch &dispatch, Mode mode, TraceBuffer *trace,
-              const MemAccessFn &mem_access)
+              const MemAccessFn &mem_access, const MemBatchFn &mem_batch)
 {
     GT_ASSERT(dispatch.binary, "dispatch without binary");
+    GT_ASSERT(!(mem_access && mem_batch),
+              "per-access and batched trace delivery are exclusive");
     GT_ASSERT(dispatch.globalSize > 0, "dispatch with empty ND-range");
     GT_ASSERT(dispatch.simdWidth == 8 || dispatch.simdWidth == 16,
               "dispatch SIMD width must be 8 or 16");
@@ -871,7 +879,7 @@ Executor::run(const Dispatch &dispatch, Mode mode, TraceBuffer *trace,
     const Plan &p = plan(&bin);
 
     bool fast = mode == Mode::Fast;
-    if (fast && (p.rel.needsFullExec || mem_access))
+    if (fast && (p.rel.needsFullExec || mem_access || mem_batch))
         fast = false;
 
     uint64_t num_threads = dispatch.numThreads();
@@ -891,14 +899,22 @@ Executor::run(const Dispatch &dispatch, Mode mode, TraceBuffer *trace,
         uops ? p.prog.supers.size() : bin.blocks.size(), 0);
     scratchDeltas.assign(trace_deltas.size(), 0);
 
+    MemTraceSink *sink = nullptr;
+    if (mem_batch) {
+        memSink.begin(&mem_batch, memTraceChunk);
+        sink = &memSink;
+    }
+
     auto run_scaled = [&](uint64_t thread_idx, uint64_t weight) {
         std::fill(scratchCounts.begin(), scratchCounts.end(), 0);
         std::fill(scratchDeltas.begin(), scratchDeltas.end(), 0);
         double cycles = uops
             ? runThreadUops(dispatch, thread_idx, fast, p, ctx,
-                            scratchCounts, scratchDeltas, mem_access)
+                            scratchCounts, scratchDeltas, mem_access,
+                            sink)
             : runThread(dispatch, thread_idx, fast, p, ctx,
-                        scratchCounts, scratchDeltas, mem_access);
+                        scratchCounts, scratchDeltas, mem_access,
+                        sink);
         if (uops) {
             // One count per superblock entry; expand over members to
             // recover exact per-block counts.
@@ -944,6 +960,9 @@ Executor::run(const Dispatch &dispatch, Mode mode, TraceBuffer *trace,
             run_scaled(t, 1);
     }
 
+    if (sink)
+        sink->finish();
+
     profile.deriveFromBlocks(bin);
 
     if (trace) {
@@ -981,10 +1000,10 @@ Executor::blockTrace(const Dispatch &dispatch, uint64_t thread_idx,
     std::vector<uint32_t> trace;
     if (uops) {
         runThreadUops(dispatch, thread_idx, fast, p, *ctxBuf, counts,
-                      deltas, {}, &trace, max_len);
+                      deltas, {}, nullptr, &trace, max_len);
     } else {
         runThread(dispatch, thread_idx, fast, p, *ctxBuf, counts,
-                  deltas, {}, &trace, max_len);
+                  deltas, {}, nullptr, &trace, max_len);
     }
     return trace;
 }
@@ -995,6 +1014,7 @@ Executor::runThreadUops(const Dispatch &dispatch, uint64_t thread_idx,
                         std::vector<uint64_t> &sb_counts,
                         std::vector<uint64_t> &trace_deltas,
                         const MemAccessFn &mem_access,
+                        MemTraceSink *mem_sink,
                         std::vector<uint32_t> *block_trace,
                         uint64_t trace_max_len)
 {
@@ -1009,6 +1029,7 @@ Executor::runThreadUops(const Dispatch &dispatch, uint64_t thread_idx,
     st.callStack = &ctx.callStack;
     st.memory = &memory;
     st.memAccess = mem_access ? &mem_access : nullptr;
+    st.memSink = mem_sink;
     st.deltas = trace_deltas.data();
     st.numDeltas = trace_deltas.size();
     st.bin = &bin;
@@ -1096,6 +1117,7 @@ Executor::runThread(const Dispatch &dispatch, uint64_t thread_idx,
                     std::vector<uint64_t> &block_counts,
                     std::vector<uint64_t> &trace_deltas,
                     const MemAccessFn &mem_access,
+                    MemTraceSink *mem_sink,
                     std::vector<uint32_t> *block_trace,
                     uint64_t trace_max_len)
 {
@@ -1353,7 +1375,10 @@ Executor::runThread(const Dispatch &dispatch, uint64_t thread_idx,
                     } else {
                         ctx.regs[ins.dst][l] = memory.read32(addr);
                     }
-                    if (mem_access) {
+                    if (mem_sink) {
+                        mem_sink->append(addr, ins.send.bytesPerLane,
+                                         ins.send.isWrite);
+                    } else if (mem_access) {
                         mem_access(addr, ins.send.bytesPerLane,
                                    ins.send.isWrite);
                     }

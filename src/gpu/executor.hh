@@ -41,6 +41,7 @@
 #include "gpu/device_config.hh"
 #include "gpu/exec_profile.hh"
 #include "gpu/memory.hh"
+#include "gpu/memtrace.hh"
 #include "isa/slice.hh"
 #include "isa/uop.hh"
 
@@ -73,6 +74,9 @@ struct Dispatch
 using MemAccessFn =
     std::function<void(uint64_t addr, uint32_t bytes, bool is_write)>;
 
+// The batched alternative (MemBatch/MemBatchFn/MemTraceSink) lives in
+// gpu/memtrace.hh; run() accepts either delivery mode.
+
 /** Interprets dispatches and produces execution profiles. */
 class Executor
 {
@@ -94,10 +98,16 @@ class Executor
      *                   null when the binary is uninstrumented)
      * @param mem_access invoked for every memory access; forces Full
      *                   mode and per-thread execution when set
+     * @param mem_batch  bulk alternative to @p mem_access: accesses
+     *                   are appended to the executor's SoA trace
+     *                   buffer and flushed in fixed-size chunks, in
+     *                   execution order; also forces Full mode. At
+     *                   most one of the two may be set.
      */
     ExecProfile run(const Dispatch &dispatch, Mode mode,
                     TraceBuffer *trace = nullptr,
-                    const MemAccessFn &mem_access = {});
+                    const MemAccessFn &mem_access = {},
+                    const MemBatchFn &mem_batch = {});
 
     /**
      * Cap on application instructions one thread may execute before
@@ -111,6 +121,15 @@ class Executor
      * evenly-spaced sample of threads runs and counts are scaled.
      */
     void setMaxExplicitThreads(uint64_t n) { maxExplicitThreads = n; }
+
+    /**
+     * Records per flushed chunk when run() is given a batch consumer.
+     * Exposed so tests can exercise chunk-boundary behaviour; the
+     * default (MemTraceSink::defaultChunk) suits production use.
+     */
+    void setMemTraceChunk(size_t records) { memTraceChunk = records; }
+
+    size_t memTraceChunkSize() const { return memTraceChunk; }
 
     /** Select the interpreter backend (default: defaultBackend()). */
     void setBackend(Backend b) { backendSel = b; }
@@ -182,6 +201,7 @@ class Executor
                      std::vector<uint64_t> &block_counts,
                      std::vector<uint64_t> &trace_deltas,
                      const MemAccessFn &mem_access,
+                     MemTraceSink *mem_sink,
                      std::vector<uint32_t> *block_trace = nullptr,
                      uint64_t trace_max_len = 0);
 
@@ -197,6 +217,7 @@ class Executor
                          std::vector<uint64_t> &sb_counts,
                          std::vector<uint64_t> &trace_deltas,
                          const MemAccessFn &mem_access,
+                         MemTraceSink *mem_sink,
                          std::vector<uint32_t> *block_trace = nullptr,
                          uint64_t trace_max_len = 0);
 
@@ -213,6 +234,11 @@ class Executor
     std::unique_ptr<ThreadCtx> ctxBuf;
     std::vector<uint64_t> scratchCounts;
     std::vector<uint64_t> scratchDeltas;
+
+    /** SoA memory-trace buffer, armed per dispatch when run() is
+     * given a batch consumer. Storage persists across dispatches. */
+    MemTraceSink memSink;
+    size_t memTraceChunk = MemTraceSink::defaultChunk;
 };
 
 } // namespace gt::gpu

@@ -1,0 +1,40 @@
+#include "gpu/memtrace.hh"
+
+#include "common/logging.hh"
+
+namespace gt::gpu
+{
+
+void
+MemTraceSink::begin(const MemBatchFn *fn_, size_t chunk)
+{
+    GT_ASSERT(fn_ && *fn_, "mem-trace sink armed without a consumer");
+    GT_ASSERT(chunk > 0, "mem-trace chunk size must be positive");
+    fn = fn_;
+    cap = chunk;
+    n = 0;
+    // resize (not reserve): append() writes through operator[].
+    addrBuf.resize(cap);
+    metaBuf.resize(cap);
+}
+
+void
+MemTraceSink::flush()
+{
+    MemBatch batch;
+    batch.addrs = addrBuf.data();
+    batch.metas = metaBuf.data();
+    batch.count = n;
+    n = 0;
+    (*fn)(batch);
+}
+
+void
+MemTraceSink::finish()
+{
+    if (n > 0)
+        flush();
+    fn = nullptr;
+}
+
+} // namespace gt::gpu

@@ -1,5 +1,6 @@
 #include "gtpin/cache_sim.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hh"
@@ -22,14 +23,17 @@ CacheModel::CacheModel(uint64_t size_bytes, uint32_t ways_,
     GT_ASSERT(sets > 0 && std::has_single_bit(sets),
               "set count must be a power of two (size ", size_bytes,
               ", ways ", ways, ", line ", line_bytes, ")");
+    setShift = (uint32_t)std::countr_zero(sets);
     lines.resize((size_t)sets * ways);
+    llb.resize(llbSize);
+    setGen.resize(sets, 0);
 }
 
-bool
-CacheModel::accessLine(uint64_t line_addr, bool is_write)
+CacheModel::Line &
+CacheModel::probeLine(uint64_t line_addr, bool is_write)
 {
     uint32_t set = (uint32_t)(line_addr & (sets - 1));
-    uint64_t tag = line_addr >> std::countr_zero((uint64_t)sets);
+    uint64_t tag = line_addr >> setShift;
     Line *base = &lines[(size_t)set * ways];
     ++useClock;
 
@@ -40,7 +44,7 @@ CacheModel::accessLine(uint64_t line_addr, bool is_write)
             line.lastUse = useClock;
             line.dirty = line.dirty || is_write;
             ++hitCount;
-            return true;
+            return line;
         }
         if (!line.valid) {
             victim = &line;
@@ -51,13 +55,14 @@ CacheModel::accessLine(uint64_t line_addr, bool is_write)
     }
 
     ++missCount;
+    ++setGen[set]; // the refill below invalidates LLB entries here
     if (victim->valid && victim->dirty)
         ++writebackCount;
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = useClock;
     victim->dirty = is_write;
-    return false;
+    return *victim;
 }
 
 bool
@@ -67,9 +72,43 @@ CacheModel::access(uint64_t addr, uint32_t bytes, bool is_write)
     uint64_t first = addr >> lineShift;
     uint64_t last = (addr + bytes - 1) >> lineShift;
     bool all_hit = true;
-    for (uint64_t line = first; line <= last; ++line)
-        all_hit = accessLine(line, is_write) && all_hit;
+    for (uint64_t line = first; line <= last; ++line) {
+        uint64_t hits_before = hitCount;
+        probeLine(line, is_write);
+        all_hit = all_hit && hitCount != hits_before;
+    }
     return all_hit;
+}
+
+void
+CacheModel::accessBatch(const gpu::MemBatch &batch)
+{
+    for (size_t i = 0; i < batch.count; ++i) {
+        uint64_t addr = batch.addrs[i];
+        uint32_t meta = batch.metas[i];
+        bool is_write = gpu::MemBatch::isWrite(meta);
+        uint64_t first = addr >> lineShift;
+        uint64_t last =
+            (addr + gpu::MemBatch::bytes(meta) - 1) >> lineShift;
+        uint64_t line = first;
+        do {
+            LlbEntry &e = llb[line & (llbSize - 1)];
+            uint32_t set = (uint32_t)(line & (sets - 1));
+            if (e.lineAddr == line && e.gen == setGen[set]) {
+                // Still resident: apply exactly a probe hit's
+                // effects without scanning the set.
+                ++useClock;
+                ++hitCount;
+                e.line->lastUse = useClock;
+                e.line->dirty = e.line->dirty || is_write;
+            } else {
+                Line &ln = probeLine(line, is_write);
+                e.lineAddr = line;
+                e.line = &ln;
+                e.gen = setGen[set]; // read after a possible bump
+            }
+        } while (++line <= last);
+    }
 }
 
 void
@@ -77,6 +116,9 @@ CacheModel::reset()
 {
     for (auto &line : lines)
         line = Line{};
+    for (auto &e : llb)
+        e = LlbEntry{};
+    std::fill(setGen.begin(), setGen.end(), 0u);
     useClock = 0;
     hitCount = 0;
     missCount = 0;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gpu/memtrace.hh"
 #include "gtpin/gtpin.hh"
 
 namespace gt::gtpin
@@ -38,6 +39,18 @@ class CacheModel
      * @return true if every touched line hit.
      */
     bool access(uint64_t addr, uint32_t bytes, bool is_write);
+
+    /**
+     * Consume one SoA trace chunk, record by record in order,
+     * producing hit/miss/writeback counts and final cache state
+     * bitwise identical to calling access() per record. Lines found
+     * in the lookaside buffer (recently probed and still resident)
+     * skip the associative set scan: a hit on any resident line has
+     * exactly the probe's effects — bump the use clock and hit
+     * count, refresh lastUse, and set the dirty bit — so the
+     * shortcut preserves state and counters bit for bit.
+     */
+    void accessBatch(const gpu::MemBatch &batch);
 
     uint64_t hits() const { return hitCount; }
     uint64_t misses() const { return missCount; }
@@ -67,12 +80,34 @@ class CacheModel
         bool dirty = false;
     };
 
-    bool accessLine(uint64_t line_addr, bool is_write);
+    /** Full set probe; @return the line holding @p line_addr after
+     * the access (the hit line, or the refilled victim on a miss). */
+    Line &probeLine(uint64_t line_addr, bool is_write);
+
+    /**
+     * Line lookaside buffer: a direct-mapped table of lines recently
+     * returned by probeLine(), used by accessBatch() to turn repeat
+     * hits into a table lookup instead of an associative scan. An
+     * entry is trustworthy only while no miss has refilled its set
+     * since insertion — a refill may evict any way — so entries
+     * carry the set's generation count, which probeLine() bumps on
+     * every miss.
+     */
+    struct LlbEntry
+    {
+        uint64_t lineAddr = ~0ull;
+        Line *line = nullptr;
+        uint32_t gen = 0;
+    };
+    static constexpr size_t llbSize = 1024; //!< power of two
 
     uint32_t sets;
     uint32_t ways;
     uint32_t lineShift;
+    uint32_t setShift; //!< log2(sets), hoisted out of the probe
     std::vector<Line> lines;
+    std::vector<LlbEntry> llb;
+    std::vector<uint32_t> setGen; //!< misses seen per set
     uint64_t useClock = 0;
     uint64_t hitCount = 0;
     uint64_t missCount = 0;
@@ -91,6 +126,13 @@ class CacheSimTool : public GtPinTool
 
     std::string name() const override { return "cachesim"; }
     bool needsAddresses() const override { return true; }
+
+    /** Native bulk consumer (GT_MEMTRACE=batch). */
+    void
+    onMemBatch(const gpu::MemBatch &batch) override
+    {
+        model.accessBatch(batch);
+    }
 
     void
     onKernelBuild(uint32_t kernel_id, Instrumenter &instrumenter)

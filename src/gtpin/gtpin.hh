@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "gpu/memtrace.hh"
 #include "gtpin/rewriter.hh"
 #include "ocl/driver.hh"
 
@@ -91,17 +92,53 @@ class GtPinTool
         (void)bytes;
         (void)is_write;
     }
+
+    /**
+     * Bulk memory trace (GT_MEMTRACE=batch, the default): one call
+     * per flushed SoA chunk, chunks and records in execution order.
+     * The default implementation replays the chunk through
+     * onMemAccess(), so tools written against the per-access hook
+     * work unchanged under either delivery mode; trace-hungry tools
+     * override this for a native bulk consumer (see CacheSimTool).
+     */
+    virtual void
+    onMemBatch(const gpu::MemBatch &batch)
+    {
+        for (size_t i = 0; i < batch.count; ++i) {
+            uint32_t meta = batch.metas[i];
+            onMemAccess(batch.addrs[i], gpu::MemBatch::bytes(meta),
+                        gpu::MemBatch::isWrite(meta));
+        }
+    }
 };
 
 /** The framework: attach to a driver, register tools, profile. */
 class GtPin : public ocl::DriverObserver
 {
   public:
+    /** How the memory-access trace reaches address-needing tools. */
+    enum class MemTraceMode
+    {
+        Callback, //!< one onMemAccess call per access (the oracle)
+        Batch,    //!< SoA chunks through onMemBatch (the default)
+    };
+
     GtPin() = default;
     ~GtPin() override;
 
     GtPin(const GtPin &) = delete;
     GtPin &operator=(const GtPin &) = delete;
+
+    /** Process-wide default: GT_MEMTRACE=callback|batch, else Batch. */
+    static MemTraceMode defaultMemTraceMode();
+
+    /** @return "callback" or "batch". */
+    static const char *memTraceModeName(MemTraceMode m);
+
+    /** Override the trace delivery mode; call before attach(). */
+    void setMemTraceMode(MemTraceMode m);
+
+    MemTraceMode memTraceMode() const { return traceMode; }
 
     /**
      * Register @p tool before attaching. The framework keeps a
@@ -132,6 +169,10 @@ class GtPin : public ocl::DriverObserver
   private:
     ocl::GpuDriver *drv = nullptr;
     std::vector<GtPinTool *> tools;
+    /** Tools needing addresses, filtered once at attach so trace
+     * delivery never re-scans the full tool list. */
+    std::vector<GtPinTool *> addrTools;
+    MemTraceMode traceMode = defaultMemTraceMode();
     SlotAllocator slots;
     std::vector<uint64_t> snapshot;
     std::vector<uint64_t> deltas;

@@ -23,6 +23,9 @@ BasicBlockCounterTool::onKernelBuild(uint32_t kernel_id,
         info.blockLens.push_back((uint32_t)block.appInstrCount());
         staticInstrs += block.appInstrCount();
     }
+    info.built = true;
+    if (kernel_id >= kernels.size())
+        kernels.resize(kernel_id + 1);
     kernels[kernel_id] = std::move(info);
 }
 
@@ -30,10 +33,10 @@ void
 BasicBlockCounterTool::onDispatchComplete(
     const ocl::DispatchResult &result, const SlotReader &slots)
 {
-    auto it = kernels.find(result.kernelId);
-    GT_ASSERT(it != kernels.end(),
+    GT_ASSERT(result.kernelId < kernels.size() &&
+                  kernels[result.kernelId].built,
               "dispatch of a kernel bbcount never instrumented");
-    const KernelInfo &info = it->second;
+    const KernelInfo &info = kernels[result.kernelId];
 
     lastCounts.assign(info.blockLens.size(), 0);
     lastInstrs = 0;
@@ -49,15 +52,16 @@ BasicBlockCounterTool::onDispatchComplete(
 uint64_t
 BasicBlockCounterTool::staticBlocks(uint32_t kernel_id) const
 {
-    auto it = kernels.find(kernel_id);
-    return it == kernels.end() ? 0 : it->second.blockLens.size();
+    return kernel_id < kernels.size()
+               ? kernels[kernel_id].blockLens.size()
+               : 0;
 }
 
 uint64_t
 BasicBlockCounterTool::totalStaticBlocks() const
 {
     uint64_t n = 0;
-    for (const auto &[id, info] : kernels)
+    for (const KernelInfo &info : kernels)
         n += info.blockLens.size();
     return n;
 }
@@ -90,6 +94,9 @@ OpcodeMixTool::onKernelBuild(uint32_t kernel_id,
             ++mix.simd[gpu::simdBin(ins.simdWidth)];
         }
     }
+    info.built = true;
+    if (kernel_id >= kernels.size())
+        kernels.resize(kernel_id + 1);
     kernels[kernel_id] = std::move(info);
 }
 
@@ -97,10 +104,10 @@ void
 OpcodeMixTool::onDispatchComplete(const ocl::DispatchResult &result,
                                   const SlotReader &slots)
 {
-    auto it = kernels.find(result.kernelId);
-    GT_ASSERT(it != kernels.end(),
+    GT_ASSERT(result.kernelId < kernels.size() &&
+                  kernels[result.kernelId].built,
               "dispatch of a kernel opcodemix never instrumented");
-    const KernelInfo &info = it->second;
+    const KernelInfo &info = kernels[result.kernelId];
 
     for (size_t b = 0; b < info.blocks.size(); ++b) {
         uint64_t count = slots(info.firstSlot + (uint32_t)b);

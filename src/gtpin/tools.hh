@@ -56,10 +56,13 @@ class BasicBlockCounterTool : public GtPinTool
     struct KernelInfo
     {
         uint32_t firstSlot = 0;
+        bool built = false; //!< instrumented by onKernelBuild
         std::vector<uint32_t> blockLens; //!< app instrs per block
     };
 
-    std::map<uint32_t, KernelInfo> kernels;
+    /** Indexed by kernel id — driver ids are dense and sequential,
+     * so a vector replaces the former std::map lookup per dispatch. */
+    std::vector<KernelInfo> kernels;
     uint64_t dynBlocks = 0;
     uint64_t dynInstrs = 0;
     uint64_t staticInstrs = 0;
@@ -113,10 +116,12 @@ class OpcodeMixTool : public GtPinTool
     struct KernelInfo
     {
         uint32_t firstSlot = 0;
+        bool built = false; //!< instrumented by onKernelBuild
         std::vector<BlockMix> blocks;
     };
 
-    std::map<uint32_t, KernelInfo> kernels;
+    /** Indexed by kernel id (dense, see BasicBlockCounterTool). */
+    std::vector<KernelInfo> kernels;
     std::array<uint64_t, isa::numOpcodes> dynOpcodes{};
     std::array<uint64_t, isa::numOpClasses> dynClasses{};
     std::array<uint64_t, 5> dynSimd{};

@@ -84,7 +84,8 @@ GpuDriver::execute(uint32_t kernel_id, uint64_t global_size,
     }
     result.argsHash = h;
 
-    result.profile = exec.run(dispatch, execMode, &trace, memAccess);
+    result.profile =
+        exec.run(dispatch, execMode, &trace, memAccess, memBatch);
     result.time = timing.kernelTime(result.profile);
     busySeconds += result.time.seconds;
 
@@ -103,6 +104,16 @@ void
 GpuDriver::setMemAccessCallback(gpu::MemAccessFn fn)
 {
     memAccess = std::move(fn);
+    if (memAccess)
+        memBatch = nullptr;
+}
+
+void
+GpuDriver::setMemBatchCallback(gpu::MemBatchFn fn)
+{
+    memBatch = std::move(fn);
+    if (memBatch)
+        memAccess = nullptr;
 }
 
 } // namespace gt::ocl

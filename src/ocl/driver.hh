@@ -119,6 +119,14 @@ class GpuDriver
     /** Per-access callback (forces Full execution; cache tools). */
     void setMemAccessCallback(gpu::MemAccessFn fn);
 
+    /**
+     * Batched trace consumer (forces Full execution): accesses are
+     * collected in the executor's SoA buffer and delivered in
+     * fixed-size chunks, in execution order. Mutually exclusive with
+     * the per-access callback — setting either clears the other.
+     */
+    void setMemBatchCallback(gpu::MemBatchFn fn);
+
     gpu::DeviceMemory &memory() { return mem; }
     gpu::Executor &executor() { return exec; }
     gpu::TraceBuffer &traceBuffer() { return trace; }
@@ -146,6 +154,7 @@ class GpuDriver
     DriverObserver *observerPtr = nullptr;
     gpu::Executor::Mode execMode = gpu::Executor::Mode::Fast;
     gpu::MemAccessFn memAccess;
+    gpu::MemBatchFn memBatch;
     std::vector<KernelEntry> kernels;
     uint64_t nextSeq = 0;
     double busySeconds = 0.0;
