@@ -84,6 +84,13 @@ printUsage(std::ostream &os)
           "                         \"callback\" invokes the\n"
           "                         per-access oracle. Results are\n"
           "                         bitwise identical.\n"
+          "  GT_KMEANS=lloyd|pruned K-means backend for the SimPoint\n"
+          "                         clusterer. \"pruned\" (default)\n"
+          "                         skips k-way scans via triangle-\n"
+          "                         inequality bounds and coincident-\n"
+          "                         point memoization; \"lloyd\"\n"
+          "                         selects the reference exact scan.\n"
+          "                         Results are bitwise identical.\n"
           "  GT_THREADS=N           Worker threads for \"all\"\n"
           "                         (default: hardware concurrency).\n";
 }

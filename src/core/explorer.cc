@@ -22,6 +22,15 @@ Exploration::result(IntervalScheme scheme, FeatureKind feature) const
     return r;
 }
 
+simpoint::KMeansStats
+Exploration::clusterStats() const
+{
+    simpoint::KMeansStats stats;
+    for (const ConfigResult &r : results)
+        stats.merge(r.selection.clusterStats);
+    return stats;
+}
+
 Exploration
 exploreConfigs(const TraceDatabase &db,
                const simpoint::ClusterOptions &options,

@@ -43,6 +43,10 @@ struct Exploration
 
     const ConfigResult &result(IntervalScheme scheme,
                                FeatureKind feature) const;
+
+    /** K-means assignment work summed over all 30 configurations
+     * (the exploration-wide prune rate). */
+    simpoint::KMeansStats clusterStats() const;
 };
 
 /**

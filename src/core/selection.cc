@@ -58,6 +58,7 @@ selectSubset(const TraceDatabase &db, IntervalScheme scheme,
 
     sel.selected = clustering.representative;
     sel.ratios = clustering.weight;
+    sel.clusterStats = clustering.stats;
     sel.totalInstrs = db.totalInstrs();
     for (uint64_t idx : sel.selected)
         sel.selectedInstrs += sel.intervals[idx].instrs;

@@ -47,6 +47,13 @@ struct SubsetSelection
     uint64_t selectedInstrs = 0;
     uint64_t totalInstrs = 0;
 
+    /**
+     * K-means assignment work behind this selection (all candidate-k
+     * runs of the BIC sweep; see Clustering::stats). Lets callers
+     * report the pruned backend's skip rate.
+     */
+    simpoint::KMeansStats clusterStats;
+
     /** Fraction of program instructions that must be simulated. */
     double selectionFraction() const;
 

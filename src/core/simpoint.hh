@@ -74,6 +74,91 @@ class ProjectionTable
 Point project(const FeatureVector &vec,
               const ProjectionTable *table = nullptr);
 
+/**
+ * K-means assignment backend (GT_KMEANS=lloyd|pruned, default
+ * pruned; mirrors GT_INTERP/GT_FEATURES/GT_MEMTRACE).
+ *
+ * Both backends produce bitwise-identical clusterings at every
+ * thread count. The pruned backend keeps Hamerly/Elkan-style
+ * per-point bounds — an upper bound on the distance to the assigned
+ * centroid, a lower bound on the second-nearest, per-iteration
+ * centroid drift, and the half minimum inter-centroid distance per
+ * cluster — and skips the k-way distance scan whenever the bounds
+ * prove the assignment cannot change. Bound arithmetic is made
+ * conservative under floating-point rounding (see simpoint.cc), and
+ * whenever pruning fails the point runs the exact Lloyd inner loop
+ * (same dist2 expression, same c = 1..k comparison order), so every
+ * assignment — and everything derived from it — is identical to the
+ * Lloyd oracle by construction.
+ */
+enum class KMeansBackend : uint8_t
+{
+    Lloyd,  //!< reference oracle: full n x k scan every iteration
+    Pruned, //!< triangle-inequality-pruned scan (default)
+};
+
+/** Process-wide default: GT_KMEANS=lloyd|pruned, else Pruned. */
+KMeansBackend defaultKMeansBackend();
+
+/** @return "lloyd" or "pruned". */
+const char *kmeansBackendName(KMeansBackend backend);
+
+/**
+ * Assignment-step work counters. Every point examined by an
+ * assignment pass is counted exactly once: a prune skipped its
+ * k-way scan (on the cached upper bound, or after tightening the
+ * bound with one exact distance), the point shared the scan of a
+ * coincident representative (the pruned backend decides once per
+ * distinct value), or it ran the full Lloyd scan itself. On the
+ * Lloyd backend fullScans == assignSteps and the other counters
+ * stay zero.
+ */
+struct KMeansStats
+{
+    uint64_t assignSteps = 0;   //!< per-point assignment decisions
+    uint64_t boundPrunes = 0;   //!< skipped on the cached bounds
+    uint64_t tightenPrunes = 0; //!< skipped after one exact distance
+    uint64_t memoHits = 0;      //!< reused a coincident point's scan
+    uint64_t fullScans = 0;     //!< ran the exact k-way Lloyd scan
+
+    void merge(const KMeansStats &other);
+
+    /** Fraction of assignment decisions that skipped the k-way scan
+     * (0 when no assignment step has run). */
+    double pruneRate() const;
+};
+
+/** One weighted k-means run at a fixed k (what cluster() repeats per
+ * candidate k). Exposed for the differential tests and the
+ * clustering bench. */
+struct KMeansRun
+{
+    std::vector<int> assignment;
+    std::vector<Point> centroids;
+    double distortion = 0.0; //!< weighted sum of squared distances
+    /**
+     * Per-cluster weight totals, emitted by the same
+     * chunk-deterministic reduction that computes the distortion;
+     * the BIC score consumes these instead of re-scanning the
+     * population.
+     */
+    std::vector<double> clusterWeight;
+    KMeansStats stats;
+};
+
+/**
+ * Run weighted k-means++ seeding plus at most @p max_iters Lloyd
+ * iterations at a fixed @p k (1 <= k <= points.size()) on @p pool
+ * (null = the process-wide pool). The @p backend only changes how
+ * the assignment step is computed, never its result: both backends
+ * return bitwise-identical runs and advance @p rng identically.
+ */
+KMeansRun kmeansRun(const std::vector<Point> &points,
+                    const std::vector<double> &weights, int k,
+                    int max_iters, Rng &rng,
+                    sched::ThreadPool *pool = nullptr,
+                    KMeansBackend backend = defaultKMeansBackend());
+
 /** Result of clustering one interval population. */
 struct Clustering
 {
@@ -90,6 +175,14 @@ struct Clustering
     std::vector<double> weight;
     /** Bayesian information criterion of the accepted clustering. */
     double bic = 0.0;
+    /** Weighted distortion of the accepted clustering. */
+    double distortion = 0.0;
+    /**
+     * Assignment-step work counters merged over every candidate-k
+     * run (1..maxK), not just the accepted one — the prune rate of
+     * the whole BIC sweep.
+     */
+    KMeansStats stats;
 };
 
 /** Clustering options. */
@@ -119,6 +212,11 @@ struct ClusterOptions
      * normally leave it null.
      */
     const ProjectionTable *projection = nullptr;
+    /**
+     * Assignment-step backend. Changes wall clock only: clusterings
+     * are bitwise identical across backends (see KMeansBackend).
+     */
+    KMeansBackend backend = defaultKMeansBackend();
 };
 
 /**
