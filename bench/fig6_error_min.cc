@@ -21,8 +21,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "gpu/detailed_sim.hh"
-#include "workloads/templates.hh"
+#include "core/detailed_validator.hh"
 
 using namespace gt;
 
@@ -76,76 +75,34 @@ main()
 
     // Detailed-simulator cross-check on one application: simulate
     // only the selected intervals, extrapolate, and compare against
-    // detailed simulation of every dispatch.
+    // detailed simulation of every dispatch. The validator's
+    // checkpoint store runs the functional pre-pass once per
+    // distinct dispatch (instead of once per simulate() call) and
+    // its machine layer fans replay cells out per GT_DETAILED.
     const std::string sample = "cb-gaussian-image";
     std::cout << "Detailed-simulation cross-check (" << sample
               << ")...\n";
     const core::ProfiledApp &app = bench::profiledApp(sample);
-    const core::ConfigResult &best =
-        core::pickMinError(bench::exploration(sample));
-    const core::SubsetSelection &sel = best.selection;
+    const core::SubsetSelection &sel =
+        core::pickMinError(bench::exploration(sample)).selection;
 
-    workloads::TemplateJit jit;
-    gpu::TrialConfig trial;
-    trial.noiseSigma = 0.0;
-    ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit, trial);
-    ocl::ClRuntime rt(driver);
-    cfl::replay(app.recording, rt);
+    // Full-program detailed simulation is feasible only because this
+    // is one of the smallest applications.
+    core::DetailedValidator validator(app);
+    core::DetailedValidator::Report rep = validator.validate(sel);
 
-    gpu::DetailedSimulator sim(driver.config());
-    auto simulate_range = [&](uint64_t first, uint64_t last,
-                              uint64_t &instrs, double &seconds,
-                              uint64_t &walked) {
-        instrs = 0;
-        seconds = 0.0;
-        for (uint64_t d = first; d <= last; ++d) {
-            const auto &rec = app.db.dispatches()[d].profile;
-            gpu::Dispatch dispatch;
-            dispatch.binary = &driver.binary(rec.kernelId);
-            dispatch.globalSize = rec.globalWorkSize;
-            dispatch.simdWidth = 16;
-            dispatch.args = rec.args;
-            gpu::DetailedResult r =
-                sim.simulate(driver.executor(), dispatch);
-            instrs += rec.instrs;
-            seconds += r.seconds;
-            walked += r.simulatedInstrs;
-        }
-    };
-
-    // Full-program detailed simulation (feasible only because this
-    // is one of the smallest applications).
-    uint64_t full_instrs = 0, full_walked = 0;
-    double full_seconds = 0.0;
-    simulate_range(0, app.db.numDispatches() - 1, full_instrs,
-                   full_seconds, full_walked);
-    double full_spi = full_seconds / (double)full_instrs;
-
-    // Selection-only detailed simulation + extrapolation.
-    uint64_t sel_walked = 0;
-    double projected = 0.0;
-    for (size_t c = 0; c < sel.selected.size(); ++c) {
-        const core::Interval &iv = sel.intervals[sel.selected[c]];
-        uint64_t instrs = 0;
-        double seconds = 0.0;
-        simulate_range(iv.firstDispatch, iv.lastDispatch, instrs,
-                       seconds, sel_walked);
-        projected += sel.ratios[c] * (seconds / (double)instrs);
-    }
-
-    double dserr =
-        std::abs(projected - full_spi) / full_spi * 100.0;
-    std::cout << "  full detailed sim: SPI=" << full_spi
-              << " (walked " << humanCount((double)full_walked)
+    std::cout << "  full detailed sim: SPI=" << rep.fullSpi
+              << " (walked " << humanCount((double)rep.fullWalked)
               << " instrs)\n"
               << "  subset detailed sim: projected SPI="
-              << projected << " (walked "
-              << humanCount((double)sel_walked) << " instrs)\n"
-              << "  extrapolation error " << pct(dserr / 100.0, 2)
+              << rep.projectedSpi << " (walked "
+              << humanCount((double)rep.subsetWalked) << " instrs)\n"
+              << "  extrapolation error "
+              << pct(rep.errorPct / 100.0, 2)
               << ", detailed-simulation work reduced "
-              << fixed((double)full_walked /
-                           (double)std::max<uint64_t>(1, sel_walked),
-                       0)
-              << "x\n";
+              << fixed(rep.workReduction(), 0) << "x ("
+              << validator.checkpointBuilds()
+              << " functional pre-passes for "
+              << app.db.numDispatches() << " dispatches)\n";
     return 0;
 }

@@ -25,12 +25,15 @@
  */
 
 #include <chrono>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 
 #include "bench/harness.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "core/detailed_validator.hh"
 #include "gpu/luxmark.hh"
 #include "sched/task_graph.hh"
 
@@ -221,6 +224,68 @@ main()
               << "  parallel  " << fixed(parallel_s, 3) << " s  ("
               << pool.threadCount() << " threads, "
               << fixed(serial_s / parallel_s, 2)
-              << "x speedup, bit-identical errors)\n";
+              << "x speedup, bit-identical errors)\n\n";
+
+    // Cycle-level spot check of the same replay matrix: the trial-1
+    // error-minimizing selection of one small application is
+    // detail-validated at the matrix's distinct design points
+    // (profiling clock, a lowered clock, the next generation). The
+    // serial oracle and the GT_DETAILED machine layer must agree bit
+    // for bit; the checkpoint store shares one functional pre-pass
+    // per dispatch across all design points of each validator.
+    const std::string sample = "cb-gaussian-image";
+    const core::ProfiledApp &app = bench::profiledApp(sample);
+    const core::SubsetSelection &sel =
+        core::pickMinError(bench::exploration(sample)).selection;
+    const std::vector<std::pair<std::string, core::DesignPoint>>
+        points{{"HD4000 @ max", {gpu::DeviceConfig::hd4000(), 0.0}},
+               {"HD4000 @ 550MHz",
+                {gpu::DeviceConfig::hd4000(), 550.0}},
+               {"HD4600 @ max", {gpu::DeviceConfig::hd4600(), 0.0}}};
+
+    using Backend = core::DetailedValidator::Backend;
+    core::DetailedValidator serial_v(app, Backend::Serial);
+    core::DetailedValidator parallel_v(app, Backend::Parallel);
+
+    TextTable detail_table({"design point", "projected SPI",
+                            "detailed SPI", "error"});
+    t0 = std::chrono::steady_clock::now();
+    std::vector<core::DetailedValidator::Report> serial_reps;
+    for (const auto &[label, dp] : points)
+        serial_reps.push_back(serial_v.validate(sel, dp));
+    double detail_serial_s = secondsSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < points.size(); ++i) {
+        core::DetailedValidator::Report r =
+            parallel_v.validate(sel, points[i].second);
+        GT_ASSERT(r.fullSpi == serial_reps[i].fullSpi &&
+                      r.projectedSpi == serial_reps[i].projectedSpi &&
+                      r.errorPct == serial_reps[i].errorPct &&
+                      r.fullWalked == serial_reps[i].fullWalked &&
+                      r.subsetWalked == serial_reps[i].subsetWalked,
+                  "GT_DETAILED serial/parallel divergence at ",
+                  points[i].first);
+        auto sci = [](double v) {
+            std::ostringstream os;
+            os << std::scientific << std::setprecision(3) << v;
+            return os.str();
+        };
+        detail_table.addRow({points[i].first, sci(r.projectedSpi),
+                             sci(r.fullSpi),
+                             pct(r.errorPct / 100.0, 2)});
+    }
+    double detail_parallel_s = secondsSince(t0);
+
+    detail_table.print(std::cout,
+                       "Detailed (cycle-level) validation of the "
+                       "trial-1 selection");
+    std::cout << "  serial " << fixed(detail_serial_s, 3)
+              << " s, parallel " << fixed(detail_parallel_s, 3)
+              << " s ("
+              << fixed(detail_serial_s / detail_parallel_s, 2)
+              << "x, bit-identical); "
+              << serial_v.checkpointBuilds()
+              << " functional pre-passes shared across "
+              << points.size() << " design points\n";
     return 0;
 }

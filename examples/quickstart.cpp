@@ -91,6 +91,15 @@ printUsage(std::ostream &os)
           "                         point memoization; \"lloyd\"\n"
           "                         selects the reference exact scan.\n"
           "                         Results are bitwise identical.\n"
+          "  GT_DETAILED=serial|parallel\n"
+          "                         Machine layer for the detailed\n"
+          "                         cycle-level simulator. \"parallel\"\n"
+          "                         (default) fans independent replay\n"
+          "                         cells across the worker pool;\n"
+          "                         \"serial\" selects the reference\n"
+          "                         loop. Unknown values are rejected\n"
+          "                         at startup. Results are bitwise\n"
+          "                         identical.\n"
           "  GT_THREADS=N           Worker threads for \"all\"\n"
           "                         (default: hardware concurrency).\n";
 }

@@ -2,42 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <cstdlib>
+#include <string>
 
 #include "common/logging.hh"
+#include "gpu/eu_pipeline.hh"
+#include "sched/thread_pool.hh"
 
 namespace gt::gpu
 {
-
-using isa::Instruction;
-using isa::Opcode;
-using isa::Operand;
-
-namespace
-{
-
-/** Scoreboard index for a flag register. */
-inline int
-flagSlot(uint8_t flag)
-{
-    return isa::numRegisters + flag;
-}
-
-constexpr int scoreboardSize = isa::numRegisters + isa::numFlags;
-
-/** One SMT context replaying the control-flow trace. */
-struct Context
-{
-    size_t tracePos = 0;     //!< index into the block trace
-    size_t instrIdx = 0;     //!< index within the current block
-    double ready = 0.0;      //!< earliest cycle the context can issue
-    bool done = false;
-    std::vector<double> regReady;
-
-    Context() : regReady(scoreboardSize, 0.0) {}
-};
-
-} // anonymous namespace
 
 DetailedSimulator::DetailedSimulator(const DeviceConfig &config_,
                                      double freq_mhz)
@@ -50,163 +23,96 @@ DetailedResult
 DetailedSimulator::simulate(Executor &executor,
                             const Dispatch &dispatch)
 {
-    GT_ASSERT(dispatch.binary, "dispatch without binary");
-    const isa::KernelBinary &bin = *dispatch.binary;
+    return simulate(executor.checkpoint(dispatch));
+}
 
-    // Functional pre-pass: the representative thread's control-flow
-    // trace, and the dispatch profile for scaling/normalization.
-    std::vector<uint32_t> trace = executor.blockTrace(dispatch, 0);
-    GT_ASSERT(!trace.empty(), bin.name, ": empty block trace");
-    ExecProfile profile =
-        executor.run(dispatch, Executor::Mode::Fast);
-
-    uint64_t traced_instrs = 0;
-    for (uint32_t b : trace)
-        traced_instrs += bin.blocks[b].instrs.size();
-    double per_thread_instrs =
-        (double)(profile.dynInstrs + profile.instrumentationInstrs) /
-        (double)profile.numThreads;
-    // If the trace was truncated by the recording cap, scale the
-    // simulated cycles up by the untraced remainder.
-    double truncation =
-        std::max(1.0, per_thread_instrs / (double)traced_instrs);
+DetailedResult
+DetailedSimulator::simulate(const DetailedCheckpoint &cp) const
+{
+    GT_ASSERT(cp.binary, "checkpoint without binary");
 
     // Simulate one EU with its SMT contexts; every context replays
     // the same homogeneous trace.
     uint32_t num_ctx = (uint32_t)std::min<uint64_t>(
-        config.threadsPerEu, dispatch.numThreads());
-    std::vector<Context> ctxs(num_ctx);
-    // Stagger starts slightly to avoid artificial lockstep.
-    for (uint32_t c = 0; c < num_ctx; ++c)
-        ctxs[c].ready = (double)c;
+        config.threadsPerEu, cp.numThreads);
 
     double freq_hz = freq * 1e6;
-    double bw_bytes_per_cycle =
+    EuParams params;
+    params.aluLatency = aluLatency;
+    params.mathLatency = mathLatency;
+    params.fpuLanes = config.fpuLanesPerEu;
+    params.bwBytesPerCycle =
         config.memBandwidthGBs * 1e9 / (double)config.numEus / freq_hz;
-    double mem_lat_cycles = config.memLatencyNs * 1e-9 * freq_hz;
+    params.memLatCycles = config.memLatencyNs * 1e-9 * freq_hz;
 
-    double cycle = 0.0;
-    double bw_free = 0.0;
-    uint64_t issued = 0;
-    uint32_t live = num_ctx;
-    uint32_t rr = 0;
-
-    auto src_ready = [&](const Context &ctx,
-                         const Instruction &ins) -> double {
-        double t = 0.0;
-        auto reg_time = [&](const Operand &opnd) {
-            if (opnd.isReg())
-                t = std::max(t, ctx.regReady[opnd.reg]);
-        };
-        reg_time(ins.src0);
-        reg_time(ins.src1);
-        reg_time(ins.src2);
-        if (ins.op == Opcode::Send)
-            t = std::max(t, ctx.regReady[ins.send.addrReg]);
-        if (isa::readsFlag(ins.op))
-            t = std::max(t, ctx.regReady[flagSlot(ins.flag)]);
-        return t;
-    };
-
-    while (live > 0) {
-        // Find an issuable context, round-robin from rr.
-        int chosen = -1;
-        double earliest = std::numeric_limits<double>::max();
-        for (uint32_t k = 0; k < num_ctx; ++k) {
-            uint32_t c = (rr + k) % num_ctx;
-            Context &ctx = ctxs[c];
-            if (ctx.done)
-                continue;
-            const auto &block = bin.blocks[trace[ctx.tracePos]];
-            const Instruction &ins = block.instrs[ctx.instrIdx];
-            double t = std::max(ctx.ready, src_ready(ctx, ins));
-            if (t <= cycle) {
-                chosen = (int)c;
-                break;
-            }
-            earliest = std::min(earliest, t);
-        }
-
-        if (chosen < 0) {
-            // Nothing issuable this cycle: jump to the next event.
-            cycle = earliest;
-            continue;
-        }
-
-        Context &ctx = ctxs[(uint32_t)chosen];
-        const auto &block = bin.blocks[trace[ctx.tracePos]];
-        const Instruction &ins = block.instrs[ctx.instrIdx];
-
-        double issue = issueCycles(ins, config.fpuLanesPerEu);
-        double done_at;
-        switch (ins.op) {
-          case Opcode::Send: {
-            double bytes =
-                (double)ins.send.bytesPerLane * ins.simdWidth;
-            double tx = bytes / bw_bytes_per_cycle;
-            double start = std::max(cycle, bw_free);
-            bw_free = start + tx;
-            done_at = start + tx + mem_lat_cycles;
-            break;
-          }
-          case Opcode::FDiv:
-          case Opcode::Sqrt:
-          case Opcode::Rsqrt:
-          case Opcode::Sin:
-          case Opcode::Cos:
-          case Opcode::Exp:
-          case Opcode::Log:
-            done_at = cycle + issue + mathLatency;
-            break;
-          default:
-            done_at = cycle + issue + aluLatency;
-            break;
-        }
-
-        if (ins.writesReg())
-            ctx.regReady[ins.dst] = done_at;
-        if (ins.writesFlag())
-            ctx.regReady[flagSlot(ins.flag)] = done_at;
-
-        // The issue port is busy for `issue` cycles; the context may
-        // not issue its next instruction before then either.
-        cycle += issue;
-        ctx.ready = cycle;
-        ++issued;
-        rr = ((uint32_t)chosen + 1) % num_ctx;
-
-        // Advance the context's position in the trace.
-        ++ctx.instrIdx;
-        if (ctx.instrIdx >= block.instrs.size()) {
-            ctx.instrIdx = 0;
-            ++ctx.tracePos;
-            if (ctx.tracePos >= trace.size()) {
-                ctx.done = true;
-                --live;
-            }
-        }
-    }
-
-    // Drain: the EU is busy until the last write completes.
-    for (const auto &ctx : ctxs) {
-        for (double t : ctx.regReady)
-            cycle = std::max(cycle, t);
-    }
+    EuResult eu = simulateEu(*cp.binary, cp.trace, num_ctx, params);
 
     // Scale one EU's cycles to the whole dispatch.
     double threads_per_wave =
         (double)num_ctx * (double)config.numEus;
-    double waves = std::ceil((double)dispatch.numThreads() /
+    double waves = std::ceil((double)cp.numThreads /
                              threads_per_wave);
 
     DetailedResult result;
-    result.simulatedInstrs = issued;
-    result.cycles = cycle * waves * truncation;
+    result.simulatedInstrs = eu.issued;
+    result.cycles = eu.cycles * waves * cp.truncation;
     result.seconds = result.cycles / freq_hz +
         config.dispatchOverheadUs * 1e-6;
-    if (profile.dynInstrs > 0)
-        result.spi = result.seconds / (double)profile.dynInstrs;
+    if (cp.dynInstrs > 0)
+        result.spi = result.seconds / (double)cp.dynInstrs;
     return result;
+}
+
+std::vector<DetailedResult>
+DetailedSimulator::simulateBatch(
+    const std::vector<const DetailedCheckpoint *> &cells,
+    Backend backend, sched::ThreadPool *pool) const
+{
+    std::vector<DetailedResult> results(cells.size());
+    auto cell = [&](size_t i) {
+        if (cells[i])
+            results[i] = simulate(*cells[i]);
+    };
+    if (backend == Backend::Serial) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            cell(i);
+        return results;
+    }
+    // Each replay cell is an EU-homogeneous wave replay, so cells
+    // are the machine's partition grain; per-index slots keep the
+    // outcome independent of the worker count.
+    sched::ThreadPool &p =
+        pool ? *pool : sched::ThreadPool::global();
+    p.parallelFor(cells.size(), cell, 1);
+    return results;
+}
+
+DetailedSimulator::Backend
+DetailedSimulator::defaultBackend()
+{
+    static const Backend selected = [] {
+        Backend b = Backend::Parallel;
+        if (const char *env = std::getenv("GT_DETAILED");
+            env && *env != '\0') {
+            std::string value(env);
+            if (value == "serial") {
+                b = Backend::Serial;
+            } else if (value != "parallel") {
+                fatal("invalid GT_DETAILED value '", value,
+                      "' (expected 'serial' or 'parallel')");
+            }
+        }
+        inform("detailed: ", backendName(b), " machine layer "
+               "(override with GT_DETAILED=serial|parallel)");
+        return b;
+    }();
+    return selected;
+}
+
+const char *
+DetailedSimulator::backendName(Backend b)
+{
+    return b == Backend::Serial ? "serial" : "parallel";
 }
 
 } // namespace gt::gpu

@@ -1,6 +1,6 @@
 /**
  * @file
- * Cycle-level detailed GPU simulator.
+ * Cycle-level detailed GPU simulator — the machine layer.
  *
  * This is the expensive tool the paper's methodology exists to avoid
  * running on whole programs: an in-order, scoreboarded SMT EU model
@@ -11,17 +11,46 @@
  * pipeline makes that affordable by simulating only representative
  * kernel invocations and extrapolating.
  *
+ * The subsystem is layered (see DESIGN.md §3.5):
+ *
+ *  - **artifact layer** (gpu/detailed_checkpoint.hh): per-dispatch
+ *    DetailedCheckpoints — block trace + Fast-mode profile facts +
+ *    truncation scaling — built once via Executor::checkpoint() and
+ *    valid for every design point;
+ *  - **EU core** (gpu/eu_pipeline.hh): the scoreboard/SMT-context/
+ *    bandwidth pipeline, a pure function of (binary, trace, contexts,
+ *    machine parameters);
+ *  - **machine layer** (this file): wave scaling and frequency
+ *    conversion per replay cell, and the partitioning of independent
+ *    replay cells — (design point, interval, dispatch) units, each an
+ *    EU-homogeneous wave replay — across the sched::ThreadPool.
+ *
  * The model simulates one EU's SMT thread contexts explicitly (they
  * replay the dispatch's recorded control-flow trace) and scales to
  * the full machine by waves, which is sound because dispatch threads
- * are homogeneous in our workloads and EUs are identical.
+ * are homogeneous in our workloads and EUs are identical. That same
+ * homogeneity makes the replay *cell* the parallel partition grain:
+ * every EU/sub-slice of a cell computes identical cycles, so
+ * partitioning cells across workers covers the machine's EUs with no
+ * redundant work. Backend selection follows the
+ * GT_INTERP/GT_FEATURES/GT_MEMTRACE/GT_KMEANS pattern:
+ * GT_DETAILED=serial|parallel (default parallel; the serial path is
+ * the bitwise oracle — cells are pure functions of their checkpoint
+ * and design point, and aggregation order is fixed, so results are
+ * identical at any thread count).
  */
 
 #ifndef GT_GPU_DETAILED_SIM_HH
 #define GT_GPU_DETAILED_SIM_HH
 
+#include "gpu/detailed_checkpoint.hh"
 #include "gpu/executor.hh"
 #include "gpu/timing.hh"
+
+namespace gt::sched
+{
+class ThreadPool;
+}
 
 namespace gt::gpu
 {
@@ -35,10 +64,13 @@ struct DetailedResult
     double spi = 0.0;              //!< seconds per (application) instr
 };
 
-/** In-order SMT EU pipeline model. */
+/** In-order SMT EU machine model over checkpointed dispatches. */
 class DetailedSimulator
 {
   public:
+    /** Machine-layer execution strategy for simulateBatch(). */
+    enum class Backend { Serial, Parallel };
+
     /**
      * @param config   design point to simulate
      * @param freq_mhz clock (0 = the design's maximum)
@@ -47,15 +79,44 @@ class DetailedSimulator
                                double freq_mhz = 0.0);
 
     /**
-     * Simulate @p dispatch in detail. @p executor supplies the
-     * functional control-flow trace (its device memory is untouched).
+     * Simulate @p dispatch in detail, building a fresh checkpoint
+     * through @p executor (its device memory is untouched). One-shot
+     * convenience — sweeps should checkpoint once and call the
+     * overload below per design point.
      */
     DetailedResult simulate(Executor &executor,
                             const Dispatch &dispatch);
 
+    /** Simulate one checkpointed dispatch (one replay cell). Pure:
+     * depends only on the checkpoint and this design point. */
+    DetailedResult simulate(const DetailedCheckpoint &cp) const;
+
+    /**
+     * Simulate a batch of independent replay cells. Serial backend:
+     * one cell at a time, in index order, on the calling thread —
+     * the bitwise oracle. Parallel backend: cells partition across
+     * @p pool (null = the process-wide pool) with per-index result
+     * slots, so the outcome is bitwise identical to serial at any
+     * thread count. Null cells yield default-constructed results.
+     */
+    std::vector<DetailedResult>
+    simulateBatch(const std::vector<const DetailedCheckpoint *> &cells,
+                  Backend backend = defaultBackend(),
+                  sched::ThreadPool *pool = nullptr) const;
+
     /** Dependent-use latencies per opcode class, in cycles. */
     void setAluLatency(double cycles) { aluLatency = cycles; }
     void setMathLatency(double cycles) { mathLatency = cycles; }
+
+    /**
+     * Process-wide default: GT_DETAILED=serial|parallel, else
+     * Parallel. An unrecognized value is a fatal() configuration
+     * error, not a silent default.
+     */
+    static Backend defaultBackend();
+
+    /** @return "serial" or "parallel". */
+    static const char *backendName(Backend b);
 
   private:
     const DeviceConfig config;

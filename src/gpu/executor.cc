@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "gpu/detailed_checkpoint.hh"
 
 namespace gt::gpu
 {
@@ -1006,6 +1007,36 @@ Executor::blockTrace(const Dispatch &dispatch, uint64_t thread_idx,
                   deltas, {}, nullptr, &trace, max_len);
     }
     return trace;
+}
+
+DetailedCheckpoint
+Executor::checkpoint(const Dispatch &dispatch, uint64_t trace_cap)
+{
+    GT_ASSERT(dispatch.binary, "dispatch without binary");
+    const KernelBinary &bin = *dispatch.binary;
+
+    // Same order as the pre-refactor DetailedSimulator::simulate():
+    // the representative thread's control-flow trace, then the
+    // Fast-mode profile for scaling/normalization.
+    DetailedCheckpoint cp;
+    cp.binary = dispatch.binary;
+    cp.trace = blockTrace(dispatch, 0, trace_cap);
+    GT_ASSERT(!cp.trace.empty(), bin.name, ": empty block trace");
+    ExecProfile profile = run(dispatch, Mode::Fast);
+
+    cp.tracedInstrs = 0;
+    for (uint32_t b : cp.trace)
+        cp.tracedInstrs += bin.blocks[b].instrs.size();
+    cp.numThreads = profile.numThreads;
+    cp.dynInstrs = profile.dynInstrs;
+    cp.perThreadInstrs =
+        (double)(profile.dynInstrs + profile.instrumentationInstrs) /
+        (double)profile.numThreads;
+    // If the trace was truncated by the recording cap, the machine
+    // layer scales the simulated cycles up by the untraced remainder.
+    cp.truncation = std::max(
+        1.0, cp.perThreadInstrs / (double)cp.tracedInstrs);
+    return cp;
 }
 
 double

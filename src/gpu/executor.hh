@@ -48,6 +48,8 @@
 namespace gt::gpu
 {
 
+struct DetailedCheckpoint;
+
 /** One kernel launch: binary, ND-range shape, and argument values. */
 struct Dispatch
 {
@@ -153,6 +155,18 @@ class Executor
     std::vector<uint32_t> blockTrace(const Dispatch &dispatch,
                                      uint64_t thread_idx,
                                      uint64_t max_len = 4'000'000);
+
+    /**
+     * Functional pre-pass hook for the detailed-simulation stack:
+     * record the representative thread's block trace (capped at
+     * @p trace_cap entries) and run @p dispatch in Fast mode once,
+     * packaging both plus the derived truncation scaling as a
+     * DetailedCheckpoint (gpu/detailed_checkpoint.hh). The result is
+     * design-point independent, so one checkpoint serves every
+     * machine configuration a validation sweep replays it under.
+     */
+    DetailedCheckpoint checkpoint(const Dispatch &dispatch,
+                                  uint64_t trace_cap = 4'000'000);
 
     /** Drop cached analyses (call when binaries are re-JITted). */
     void invalidateAnalyses() { plans.clear(); }

@@ -76,13 +76,8 @@ GpuDriver::execute(uint32_t kernel_id, uint64_t global_size,
     result.args = args;
 
     // FNV-1a over the argument words, the identity the KN-ARGS
-    // feature family keys on.
-    uint64_t h = 0xcbf29ce484222325ULL;
-    for (uint32_t a : args) {
-        h ^= a;
-        h *= 0x100000001b3ULL;
-    }
-    result.argsHash = h;
+    // feature family and the checkpoint store key on.
+    result.argsHash = gpu::dispatchArgsHash(args);
 
     result.profile =
         exec.run(dispatch, execMode, &trace, memAccess, memBatch);
@@ -92,6 +87,19 @@ GpuDriver::execute(uint32_t kernel_id, uint64_t global_size,
     if (observerPtr)
         observerPtr->onDispatchComplete(result, trace);
     return result;
+}
+
+const gpu::DetailedCheckpoint &
+GpuDriver::checkpoint(uint32_t kernel_id, uint64_t global_size,
+                      uint8_t simd_width,
+                      const std::vector<uint32_t> &args)
+{
+    gpu::Dispatch dispatch;
+    dispatch.binary = &binary(kernel_id);
+    dispatch.globalSize = global_size;
+    dispatch.simdWidth = simd_width;
+    dispatch.args = args;
+    return ckpts.get(exec, dispatch, kernel_id);
 }
 
 double

@@ -113,6 +113,22 @@ class GpuDriver
     /** Seconds to move @p bytes between host and device. */
     double transferSeconds(uint64_t bytes) const;
 
+    /**
+     * Detailed-simulation hook: the functional checkpoint of the
+     * dispatch (kernel_id, global_size, simd_width, args), built
+     * through this driver's executor on first request and memoized
+     * by dispatch identity (gpu::CheckpointStore), so a validation
+     * sweep pays one Fast-mode pre-pass per distinct dispatch no
+     * matter how many design points replay it. Not thread-safe —
+     * warm the store before fanning replay cells out.
+     */
+    const gpu::DetailedCheckpoint &
+    checkpoint(uint32_t kernel_id, uint64_t global_size,
+               uint8_t simd_width, const std::vector<uint32_t> &args);
+
+    /** The checkpoint memo table (hit/build stats, clearing). */
+    gpu::CheckpointStore &checkpoints() { return ckpts; }
+
     /** Functional execution mode (Fast by default). */
     void setExecMode(gpu::Executor::Mode mode) { execMode = mode; }
 
@@ -155,6 +171,7 @@ class GpuDriver
     gpu::Executor::Mode execMode = gpu::Executor::Mode::Fast;
     gpu::MemAccessFn memAccess;
     gpu::MemBatchFn memBatch;
+    gpu::CheckpointStore ckpts;
     std::vector<KernelEntry> kernels;
     uint64_t nextSeq = 0;
     double busySeconds = 0.0;

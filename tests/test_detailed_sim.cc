@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include "gpu/detailed_checkpoint.hh"
 #include "gpu/detailed_sim.hh"
+#include "gpu/eu_pipeline.hh"
 #include "isa/builder.hh"
+#include "sched/thread_pool.hh"
 #include "workloads/templates.hh"
 
 namespace gt::gpu
@@ -185,6 +188,234 @@ TEST_F(DetailedSimTest, DetailedSimIsSlowerThanProfiling)
     // fraction by a wide margin.
     EXPECT_GT((double)r.simulatedInstrs,
               8.0 * (double)rel.relevantCount);
+}
+
+TEST_F(DetailedSimTest, CheckpointMatchesLegacyPath)
+{
+    // The one-shot entry point is defined as checkpoint-then-replay;
+    // building the checkpoint explicitly must give the same bits.
+    KernelBinary bin = chainKernel(true);
+    Dispatch d;
+    d.binary = &bin;
+    d.globalSize = 1024;
+    d.simdWidth = 16;
+
+    DetailedSimulator sim(config);
+    DetailedCheckpoint cp = exec.checkpoint(d);
+    DetailedResult via_cp = sim.simulate(cp);
+    DetailedResult legacy = sim.simulate(exec, d);
+    EXPECT_EQ(legacy.cycles, via_cp.cycles);
+    EXPECT_EQ(legacy.seconds, via_cp.seconds);
+    EXPECT_EQ(legacy.spi, via_cp.spi);
+    EXPECT_EQ(legacy.simulatedInstrs, via_cp.simulatedInstrs);
+}
+
+TEST_F(DetailedSimTest, ClampsContextsToDispatchThreads)
+{
+    // A dispatch with fewer hardware threads than SMT contexts must
+    // replay only the threads it has: 1 thread issues exactly the
+    // traced instructions, 8 threads per EU issue 8x.
+    KernelBinary bin = chainKernel(false);
+    Dispatch one;
+    one.binary = &bin;
+    one.globalSize = 16; // one hardware thread total
+    one.simdWidth = 16;
+    Dispatch full = one;
+    full.globalSize = 16ull * config.threadsPerEu * config.numEus;
+
+    DetailedCheckpoint cp1 = exec.checkpoint(one);
+    DetailedCheckpoint cp8 = exec.checkpoint(full);
+    ASSERT_EQ(cp1.numThreads, 1u);
+    ASSERT_EQ(cp8.numThreads,
+              (uint64_t)config.threadsPerEu * config.numEus);
+    ASSERT_EQ(cp1.tracedInstrs, cp8.tracedInstrs);
+
+    DetailedSimulator sim(config);
+    EXPECT_EQ(sim.simulate(cp1).simulatedInstrs, cp1.tracedInstrs);
+    EXPECT_EQ(sim.simulate(cp8).simulatedInstrs,
+              config.threadsPerEu * cp8.tracedInstrs);
+}
+
+TEST_F(DetailedSimTest, TruncatedTraceScalesCycles)
+{
+    // Capping the block trace below the kernel's dynamic length must
+    // record the shortfall and scale the replayed cycles by exactly
+    // the truncation factor.
+    KernelBinary bin = chainKernel(true);
+    Dispatch d;
+    d.binary = &bin;
+    d.globalSize = 1024;
+    d.simdWidth = 16;
+
+    DetailedCheckpoint full = exec.checkpoint(d);
+    DetailedCheckpoint cut = exec.checkpoint(d, 16);
+    ASSERT_GT(cut.truncation, 1.0);
+    EXPECT_GT(cut.truncation, full.truncation);
+    ASSERT_LT(cut.trace.size(), full.trace.size());
+
+    DetailedSimulator sim(config);
+    DetailedCheckpoint unscaled = cut;
+    unscaled.truncation = 1.0;
+    EXPECT_DOUBLE_EQ(sim.simulate(cut).cycles,
+                     sim.simulate(unscaled).cycles *
+                         cut.truncation);
+}
+
+TEST_F(DetailedSimTest, SingleBlockKernel)
+{
+    // No control flow at all: the trace is one block and the traced
+    // instruction count is that block's size.
+    KernelBuilder b("straightline", 0);
+    Reg r = b.reg();
+    for (int i = 0; i < 6; ++i)
+        b.fmul(r, r, r, 8);
+    b.halt();
+    KernelBinary bin = b.finish();
+
+    Dispatch d;
+    d.binary = &bin;
+    d.globalSize = 256;
+    d.simdWidth = 16;
+
+    DetailedCheckpoint cp = exec.checkpoint(d);
+    ASSERT_EQ(cp.trace.size(), 1u);
+    EXPECT_EQ(cp.tracedInstrs,
+              bin.blocks[cp.trace[0]].instrs.size());
+
+    DetailedResult r2 = DetailedSimulator(config).simulate(cp);
+    EXPECT_GT(r2.cycles, 0.0);
+    EXPECT_GT(r2.simulatedInstrs, 0u);
+}
+
+TEST_F(DetailedSimTest, MathOpsCostMoreThanAlu)
+{
+    // Same dependent chain shape, different latency class: the
+    // extended-math pipe (fdiv) must be slower than the ALU (fmul)
+    // when SMT cannot hide the chain.
+    auto chain = [](bool math) {
+        KernelBuilder b(math ? "math" : "alu", 0);
+        Reg c = b.reg();
+        Reg r = b.reg();
+        b.beginLoop(c, imm(100));
+        for (int i = 0; i < 4; ++i) {
+            if (math)
+                b.fdiv(r, r, r, 8);
+            else
+                b.fmul(r, r, r, 8);
+        }
+        b.endLoop();
+        b.halt();
+        return b.finish();
+    };
+    KernelBinary alu = chain(false);
+    KernelBinary math = chain(true);
+
+    Dispatch d;
+    d.globalSize = 16; // one thread: expose the raw latencies
+    d.simdWidth = 16;
+
+    DetailedSimulator sim(config);
+    d.binary = &alu;
+    double alu_cycles = sim.simulate(exec, d).cycles;
+    d.binary = &math;
+    double math_cycles = sim.simulate(exec, d).cycles;
+    EXPECT_GT(math_cycles, alu_cycles * 1.5);
+}
+
+TEST_F(DetailedSimTest, CheckpointStoreMemoizes)
+{
+    KernelBinary bin = chainKernel(false);
+    Dispatch d;
+    d.binary = &bin;
+    d.globalSize = 1024;
+    d.simdWidth = 16;
+    d.args = {1, 2, 3};
+
+    CheckpointStore store;
+    const DetailedCheckpoint &a = store.get(exec, d, 7);
+    const DetailedCheckpoint &b = store.get(exec, d, 7);
+    EXPECT_EQ(&a, &b); // stable reference, no rebuild
+    EXPECT_EQ(store.builds(), 1u);
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.size(), 1u);
+
+    Dispatch other = d;
+    other.args = {1, 2, 4};
+    const DetailedCheckpoint &c = store.get(exec, other, 7);
+    EXPECT_NE(&a, &c); // distinct args -> distinct checkpoint
+    EXPECT_EQ(store.builds(), 2u);
+    EXPECT_NE(dispatchArgsHash(d.args),
+              dispatchArgsHash(other.args));
+}
+
+TEST_F(DetailedSimTest, SerialParallelBitwiseAcrossDesignPoints)
+{
+    // The fig8 replay matrix collapses to 7 distinct design points
+    // for the cycle model (noise seeds do not enter it): the
+    // profiling clock, the 5-step frequency sweep, and the next
+    // generation. At each, the parallel machine layer must match the
+    // serial oracle bit for bit at 1, 4, and hardware-width pools.
+    KernelBinary dep = chainKernel(true);
+    KernelBinary indep = chainKernel(false);
+    std::vector<DetailedCheckpoint> cps;
+    for (KernelBinary *bin : {&dep, &indep}) {
+        for (uint64_t global : {16ull, 1024ull, 1ull << 16}) {
+            Dispatch d;
+            d.binary = bin;
+            d.globalSize = global;
+            d.simdWidth = 16;
+            cps.push_back(exec.checkpoint(d));
+        }
+    }
+    std::vector<const DetailedCheckpoint *> cells;
+    for (const DetailedCheckpoint &cp : cps)
+        cells.push_back(&cp);
+
+    struct Point
+    {
+        DeviceConfig config;
+        double freqMhz;
+    };
+    std::vector<Point> points{{DeviceConfig::hd4000(), 0.0},
+                              {DeviceConfig::hd4600(), 0.0}};
+    for (double f : {1000.0, 850.0, 700.0, 550.0, 350.0})
+        points.push_back({DeviceConfig::hd4000(), f});
+
+    sched::ThreadPool pool1(1), pool4(4);
+    std::vector<sched::ThreadPool *> pools{
+        &pool1, &pool4, &sched::ThreadPool::global()};
+
+    using Backend = DetailedSimulator::Backend;
+    for (const Point &pt : points) {
+        DetailedSimulator sim(pt.config, pt.freqMhz);
+        std::vector<DetailedResult> want =
+            sim.simulateBatch(cells, Backend::Serial);
+        for (sched::ThreadPool *pool : pools) {
+            std::vector<DetailedResult> got =
+                sim.simulateBatch(cells, Backend::Parallel, pool);
+            ASSERT_EQ(want.size(), got.size());
+            for (size_t i = 0; i < want.size(); ++i) {
+                EXPECT_EQ(want[i].cycles, got[i].cycles);
+                EXPECT_EQ(want[i].seconds, got[i].seconds);
+                EXPECT_EQ(want[i].spi, got[i].spi);
+                EXPECT_EQ(want[i].simulatedInstrs,
+                          got[i].simulatedInstrs);
+            }
+        }
+    }
+}
+
+TEST_F(DetailedSimTest, BackendNamesAndDefault)
+{
+    using Backend = DetailedSimulator::Backend;
+    EXPECT_STREQ("serial",
+                 DetailedSimulator::backendName(Backend::Serial));
+    EXPECT_STREQ("parallel",
+                 DetailedSimulator::backendName(Backend::Parallel));
+    // The default is env-driven; whatever it resolved to must be one
+    // of the two public names (unknown values fatal at startup).
+    Backend def = DetailedSimulator::defaultBackend();
+    EXPECT_TRUE(def == Backend::Serial || def == Backend::Parallel);
 }
 
 } // anonymous namespace
