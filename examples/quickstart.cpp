@@ -68,6 +68,15 @@ printUsage(std::ostream &os)
           "                         selects the reference switch\n"
           "                         interpreter. Results are bitwise\n"
           "                         identical.\n"
+          "  GT_EXEC=scalar|gang    Full-mode thread interleaving for\n"
+          "                         the uop backend. \"gang\" (default)\n"
+          "                         drives 8 threads in SoA lockstep\n"
+          "                         through shared superblocks,\n"
+          "                         falling back to scalar whenever\n"
+          "                         lockstep ordering would be\n"
+          "                         observable; \"scalar\" always runs\n"
+          "                         one thread at a time. Results are\n"
+          "                         bitwise identical.\n"
           "  GT_FEATURES=map|flat   Feature-extraction backend for\n"
           "                         subset selection. \"flat\"\n"
           "                         (default) runs the columnar\n"

@@ -29,6 +29,19 @@
  * Instrumentation pseudo-instructions injected by the GT-Pin rewriter
  * execute in both modes, accumulating into the TraceBuffer, so
  * profiles are produced identically regardless of mode.
+ *
+ * Independently of the backend, the uop interpreter offers a gang
+ * *execution mode* (GT_EXEC=scalar|gang, default gang): when Full
+ * mode runs threads explicitly, up to gangSize threads are reset into
+ * one structure-of-arrays context and driven through the shared uop
+ * stream in lockstep, so each handler invocation is a single
+ * vectorizable loop over all gang lanes instead of one short loop per
+ * thread. Threads whose control flow leaves the gang's consensus
+ * superblock retire and finish on the scalar path; kernels whose
+ * stores the plan-time gang-safety proof (isa::analyzeGangSafety)
+ * cannot show to be order-invisible run scalar. Either way every
+ * observable — profiles, trace deltas, memory, trace-record order —
+ * is bitwise identical to scalar execution.
  */
 
 #ifndef GT_GPU_EXECUTOR_HH
@@ -49,6 +62,7 @@ namespace gt::gpu
 {
 
 struct DetailedCheckpoint;
+struct UopSt;
 
 /** One kernel launch: binary, ND-range shape, and argument values. */
 struct Dispatch
@@ -87,6 +101,12 @@ class Executor
 
     /** Interpreter implementation (see the file comment). */
     enum class Backend { Switch, Uops };
+
+    /** Thread interleaving of Full-mode explicit execution. */
+    enum class ExecMode { Scalar, Gang };
+
+    /** Threads ganged into one lockstep SoA context. */
+    static constexpr int gangSize = 8;
 
     Executor(const DeviceConfig &config, DeviceMemory &memory);
     ~Executor();
@@ -144,8 +164,31 @@ class Executor
     /** @return "switch" or "uops". */
     static const char *backendName(Backend b);
 
+    /** Select the execution mode (default: defaultExecMode()). */
+    void setExecMode(ExecMode m) { execSel = m; }
+
+    ExecMode execMode() const { return execSel; }
+
+    /** Process-wide default: GT_EXEC=scalar|gang (fatal on other
+     * values), else Gang. */
+    static ExecMode defaultExecMode();
+
+    /** @return "scalar" or "gang". */
+    static const char *execModeName(ExecMode m);
+
     /** Relevance analysis for @p bin, computed once and cached. */
     const isa::Relevance &relevance(const isa::KernelBinary *bin);
+
+    /** Gang-safety analysis for @p bin, computed once and cached. */
+    const isa::GangSafety &gangSafety(const isa::KernelBinary *bin);
+
+    /**
+     * Diagnostic: did the most recent run() drive threads through the
+     * gang path (as opposed to scalar execution or representative/
+     * sampled Fast mode)? Lets tests assert that gang coverage is
+     * real rather than silently falling back.
+     */
+    bool lastRunGanged() const { return lastGanged; }
 
     /**
      * Record the basic-block sequence executed by one thread of
@@ -173,6 +216,7 @@ class Executor
 
   private:
     struct ThreadCtx;
+    struct GangCtx;
 
     /** Cached per-binary execution plan. */
     struct Plan
@@ -202,6 +246,8 @@ class Executor
         /** Kernel touches shared-local memory, so reset must clear
          * the 16 KB local block; provably untouched => skipped. */
         bool usesLocal = false;
+        /** Gang-safety verdict (see isa/slice.hh). */
+        isa::GangSafety gang;
     };
 
     const Plan &plan(const isa::KernelBinary *bin);
@@ -213,7 +259,9 @@ class Executor
     double runThread(const Dispatch &dispatch, uint64_t thread_idx,
                      bool fast, const Plan &plan, ThreadCtx &ctx,
                      std::vector<uint64_t> &block_counts,
+                     std::vector<uint32_t> &dirty_counts,
                      std::vector<uint64_t> &trace_deltas,
+                     std::vector<uint32_t> &dirty_deltas,
                      const MemAccessFn &mem_access,
                      MemTraceSink *mem_sink,
                      std::vector<uint32_t> *block_trace = nullptr,
@@ -229,25 +277,75 @@ class Executor
     double runThreadUops(const Dispatch &dispatch, uint64_t thread_idx,
                          bool fast, const Plan &plan, ThreadCtx &ctx,
                          std::vector<uint64_t> &sb_counts,
+                         std::vector<uint32_t> &dirty_counts,
                          std::vector<uint64_t> &trace_deltas,
+                         std::vector<uint32_t> &dirty_deltas,
                          const MemAccessFn &mem_access,
                          MemTraceSink *mem_sink,
                          std::vector<uint32_t> *block_trace = nullptr,
                          uint64_t trace_max_len = 0);
 
+    /**
+     * Threaded superblock walk of the uop backend starting at
+     * superblock @p cur, with @p ctx / @p st already wired. Shared by
+     * runThreadUops (whole threads) and runGang (scalar continuation
+     * of a slot retired from its gang on divergence).
+     * @return final issue-cycle count of the thread.
+     */
+    double uopRun(const Dispatch &dispatch, uint64_t thread_idx,
+                  bool fast, const Plan &plan, ThreadCtx &ctx,
+                  UopSt &st, uint32_t cur,
+                  std::vector<uint64_t> &sb_counts,
+                  std::vector<uint32_t> &dirty_counts);
+
+    /**
+     * @return whether @p dispatch's concrete argument values satisfy
+     * the plan's gang-safety verdict (region form proven, SIMD width
+     * acceptable, no address wrap, dispatch-time region checks
+     * disjoint).
+     */
+    bool gangDispatchSafe(const Dispatch &dispatch, const Plan &p) const;
+
+    /**
+     * Run @p count consecutive threads (first_thread ...) through the
+     * uop stream in SoA lockstep, retiring divergent slots onto the
+     * scalar path. Accumulates into the same scratch counters as the
+     * scalar runners; per-slot memory-trace records are drained into
+     * @p mem_sink in thread order afterwards so the record stream is
+     * bitwise identical to scalar execution. @p slot_cycles receives
+     * each slot's final issue-cycle count.
+     */
+    void runGang(const Dispatch &dispatch, uint64_t first_thread,
+                 int count, const Plan &plan,
+                 std::vector<uint64_t> &sb_counts,
+                 std::vector<uint32_t> &dirty_counts,
+                 std::vector<uint64_t> &trace_deltas,
+                 std::vector<uint32_t> &dirty_deltas,
+                 MemTraceSink *mem_sink, double *slot_cycles);
+
     const DeviceConfig config;
     DeviceMemory &memory;
     uint64_t threadInstrLimit = 200'000'000;
     uint64_t maxExplicitThreads = 1024;
+    bool lastGanged = false;
     Backend backendSel;
+    ExecMode execSel;
     std::unordered_map<const isa::KernelBinary *, Plan> plans;
 
     /** Reusable per-run scratch: the architectural thread context and
      * the per-thread count/delta accumulators, hoisted out of the
      * per-simulated-thread loop. */
     std::unique_ptr<ThreadCtx> ctxBuf;
+    std::unique_ptr<GangCtx> gangBuf;
     std::vector<uint64_t> scratchCounts;
     std::vector<uint64_t> scratchDeltas;
+    /** Indices of scratchCounts / scratchDeltas entries touched by the
+     * current thread (or gang), so the per-thread flush and clear are
+     * proportional to blocks entered rather than kernel size. */
+    std::vector<uint32_t> dirtyCounts;
+    std::vector<uint32_t> dirtyDeltas;
+    /** Per-dispatch trace-delta accumulator (reused across runs). */
+    std::vector<uint64_t> traceDeltaBuf;
 
     /** SoA memory-trace buffer, armed per dispatch when run() is
      * given a batch consumer. Storage persists across dispatches. */

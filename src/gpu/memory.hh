@@ -75,6 +75,14 @@ class DeviceMemory
         std::memcpy(bytes.data() + addr, &value, 4);
     }
 
+    /**
+     * Raw storage access for bulk fast paths that hoist one bounds
+     * check over a whole batch (the gang executor's send loops);
+     * callers are responsible for staying within size().
+     */
+    uint8_t *data() { return bytes.data(); }
+    const uint8_t *data() const { return bytes.data(); }
+
     /** Bulk host<->device transfer helpers. */
     void copyIn(uint64_t addr, const void *src, uint64_t size);
     void copyOut(uint64_t addr, void *dst, uint64_t size) const;

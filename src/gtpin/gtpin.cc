@@ -73,7 +73,9 @@ GtPin::attach(ocl::GpuDriver &driver)
     inform("GT-Pin attached (", tools.size(), " tool",
            tools.size() == 1 ? "" : "s", ", ",
            gpu::Executor::backendName(driver.executor().backend()),
-           " interpreter backend, ", memTraceModeName(traceMode),
+           " interpreter backend, ",
+           gpu::Executor::execModeName(driver.executor().execMode()),
+           " execution mode, ", memTraceModeName(traceMode),
            " memory-trace delivery)");
 
     // The initialization hook of Fig. 1: allocate the CPU/GPU-shared
