@@ -74,7 +74,7 @@ struct LegacyStack
               double &seconds, uint64_t &walked)
     {
         for (uint64_t d = first; d <= last; ++d) {
-            const auto &rec = app.db.dispatches()[d].profile;
+            const auto &rec = app.db.profileAt(d);
             gpu::Dispatch dispatch;
             dispatch.binary = &driver->binary(rec.kernelId);
             dispatch.globalSize = rec.globalWorkSize;

@@ -42,7 +42,7 @@ projectedSpiOnDesign(const core::ProfiledApp &app,
         double seconds = 0.0;
         for (uint64_t d = iv.firstDispatch; d <= iv.lastDispatch;
              ++d) {
-            const auto &rec = app.db.dispatches()[d].profile;
+            const auto &rec = app.db.profileAt(d);
             gpu::Dispatch dispatch;
             dispatch.binary = &driver.binary(rec.kernelId);
             dispatch.globalSize = rec.globalWorkSize;

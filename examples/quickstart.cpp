@@ -109,6 +109,17 @@ printUsage(std::ostream &os)
           "                         loop. Unknown values are rejected\n"
           "                         at startup. Results are bitwise\n"
           "                         identical.\n"
+          "  GT_TRACEDB=mem|columnar\n"
+          "                         Trace-database storage backend.\n"
+          "                         \"columnar\" (default) spills the\n"
+          "                         joined trace to a compressed\n"
+          "                         on-disk columnar file, mapped\n"
+          "                         read-only and decoded block-wise\n"
+          "                         through a per-thread cache;\n"
+          "                         \"mem\" keeps the fully-resident\n"
+          "                         reference form. Unknown values\n"
+          "                         are rejected at startup. Results\n"
+          "                         are bitwise identical.\n"
           "  GT_THREADS=N           Worker threads for \"all\"\n"
           "                         (default: hardware concurrency).\n";
 }

@@ -13,7 +13,28 @@ namespace gt::cfl
 namespace
 {
 
+const char *magicPrefix = "gtpin-recording v";
 const char *magic = "gtpin-recording v1";
+
+/**
+ * Read a length/count field with a plausibility cap. A negative or
+ * garbage count in a hand-edited or corrupt file would otherwise
+ * wrap through the unsigned extraction into a huge value and die in
+ * resize() with a bare length_error — fail with a real message
+ * instead, before any allocation.
+ */
+uint64_t
+readCount(std::istream &is, const char *what, uint64_t max)
+{
+    int64_t n;
+    if (!(is >> n))
+        fatal("recording: expected ", what, " count");
+    if (n < 0 || (uint64_t)n > max) {
+        fatal("recording: implausible ", what, " count ", n,
+              " (cap ", max, ")");
+    }
+    return (uint64_t)n;
+}
 
 void
 writeString(std::ostream &os, const std::string &s)
@@ -24,9 +45,7 @@ writeString(std::ostream &os, const std::string &s)
 std::string
 readString(std::istream &is)
 {
-    size_t len;
-    if (!(is >> len))
-        fatal("recording: expected string length");
+    uint64_t len = readCount(is, "string length", 1u << 20);
     char space;
     is.get(space);
     std::string s(len, '\0');
@@ -85,8 +104,14 @@ loadRecording(std::istream &is)
 {
     std::string header;
     std::getline(is, header);
-    if (header != magic)
-        fatal("recording: bad magic '", header, "'");
+    if (header != magic) {
+        if (header.rfind(magicPrefix, 0) == 0) {
+            fatal("recording: unsupported format version '", header,
+                  "' (this build reads '", magic, "')");
+        }
+        fatal("recording: bad magic '", header,
+              "' (not a recording file)");
+    }
 
     Recording recording;
     std::string tok;
@@ -108,19 +133,18 @@ loadRecording(std::istream &is)
         rec.kernelName = readString(is);
 
         std::string tag;
-        size_t n;
-        is >> tag >> n;
-        if (tag != "u")
+        if (!(is >> tag) || tag != "u")
             fatal("recording: expected 'u'");
+        uint64_t n = readCount(is, "uargs", 1u << 20);
         rec.uargs.resize(n);
         for (size_t i = 0; i < n; ++i) {
             if (!(is >> rec.uargs[i]))
                 fatal("recording: truncated uargs");
         }
 
-        is >> tag >> n;
-        if (tag != "p")
+        if (!(is >> tag) || tag != "p")
             fatal("recording: expected 'p'");
+        n = readCount(is, "payload", 1u << 26);
         rec.payload.resize(n);
         if (n > 0) {
             char space;
@@ -138,16 +162,14 @@ loadRecording(std::istream &is)
             is.get(space);
         }
 
-        is >> tag >> n;
-        if (tag != "s")
+        if (!(is >> tag) || tag != "s")
             fatal("recording: expected 's'");
+        n = readCount(is, "sources", 1u << 16);
         rec.sources.resize(n);
         for (size_t i = 0; i < n; ++i) {
             rec.sources[i].name = readString(is);
             rec.sources[i].templateName = readString(is);
-            size_t np;
-            if (!(is >> np))
-                fatal("recording: truncated source params");
+            uint64_t np = readCount(is, "source params", 1u << 16);
             rec.sources[i].params.resize(np);
             for (size_t k = 0; k < np; ++k) {
                 if (!(is >> rec.sources[i].params[k]))

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * LEB128 variable-length integers and a bounds-checked byte reader.
+ *
+ * The on-disk columnar trace store (core/trace_store) packs its
+ * integer columns — dispatch instruction deltas, basic-block counts,
+ * sync-epoch run lengths — as unsigned LEB128: 7 payload bits per
+ * byte, high bit set on every byte but the last. Small values (the
+ * overwhelming majority of block counts and lengths) take one byte;
+ * a full 64-bit value takes ten.
+ *
+ * ByteReader is the decoding side's safety net: every read is
+ * bounds-checked against the enclosing section, so a truncated or
+ * corrupt file fails with a clear fatal() instead of running off the
+ * mapping (the same contract cfl::serialize enforces for recording
+ * files).
+ */
+
+#ifndef GT_COMMON_VARINT_HH
+#define GT_COMMON_VARINT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gt
+{
+
+/** Append @p value to @p out as unsigned LEB128. */
+inline void
+putVarint(std::vector<uint8_t> &out, uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back((uint8_t)(value | 0x80));
+        value >>= 7;
+    }
+    out.push_back((uint8_t)value);
+}
+
+/** Append @p count raw bytes from @p src to @p out. */
+inline void
+putBytes(std::vector<uint8_t> &out, const void *src, size_t count)
+{
+    const uint8_t *p = (const uint8_t *)src;
+    out.insert(out.end(), p, p + count);
+}
+
+/**
+ * Bounds-checked reader over one encoded region. Any attempt to
+ * read past @p end — a truncated file, a corrupt length field —
+ * raises FatalError with the region's name in the message.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *begin, const uint8_t *end,
+               const char *what_)
+        : cur(begin), limit(end), what(what_)
+    {
+        if (cur > limit)
+            fatal(what, ": negative-size region");
+    }
+
+    /** Decode one LEB128 value; fatal on truncation or a value
+     * wider than 64 bits. */
+    uint64_t
+    getVarint()
+    {
+        uint64_t value = 0;
+        int shift = 0;
+        while (true) {
+            if (cur == limit)
+                fatal(what, ": truncated varint");
+            uint8_t byte = *cur++;
+            if (shift == 63 && (byte & ~1u))
+                fatal(what, ": varint overflows 64 bits");
+            value |= (uint64_t)(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return value;
+            shift += 7;
+        }
+    }
+
+    /** Copy @p count raw bytes into @p dst; fatal on truncation. */
+    void
+    getBytes(void *dst, size_t count)
+    {
+        if ((size_t)(limit - cur) < count)
+            fatal(what, ": truncated (need ", count, " bytes, have ",
+                  limit - cur, ")");
+        std::memcpy(dst, cur, count);
+        cur += count;
+    }
+
+    /** Decode a length-prefixed count and sanity-cap it: a corrupt
+     * or hostile length fails loudly instead of driving a huge
+     * allocation. */
+    uint64_t
+    getCount(uint64_t max)
+    {
+        uint64_t n = getVarint();
+        if (n > max)
+            fatal(what, ": implausible count ", n, " (cap ", max,
+                  ")");
+        return n;
+    }
+
+    bool done() const { return cur == limit; }
+
+    size_t remaining() const { return (size_t)(limit - cur); }
+
+    /** Require the region to be fully consumed — decode drift means
+     * the file does not match its index. */
+    void
+    expectDone() const
+    {
+        if (cur != limit)
+            fatal(what, ": ", remaining(),
+                  " trailing bytes after decode");
+    }
+
+  private:
+    const uint8_t *cur;
+    const uint8_t *limit;
+    const char *what;
+};
+
+} // namespace gt
+
+#endif // GT_COMMON_VARINT_HH

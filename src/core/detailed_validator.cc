@@ -57,12 +57,12 @@ DetailedValidator::cells(const DesignPoint &dp)
     // share one replay cell — simulate() is a pure function of
     // (checkpoint, design point) — so repeated invocations of the
     // same kernel/shape/args cost one cycle-level walk, not many.
-    const auto &records = app.db.dispatches();
+    const uint64_t num = app.db.numDispatches();
     std::map<const gpu::DetailedCheckpoint *, size_t> uniq;
     std::vector<const gpu::DetailedCheckpoint *> cps;
-    std::vector<size_t> cell_of(records.size());
-    for (size_t d = 0; d < records.size(); ++d) {
-        const gtpin::DispatchProfile &rec = records[d].profile;
+    std::vector<size_t> cell_of(num);
+    for (size_t d = 0; d < num; ++d) {
+        const gtpin::DispatchProfile &rec = app.db.profileAt(d);
         const gpu::DetailedCheckpoint *cp = &driver->checkpoint(
             rec.kernelId, rec.globalWorkSize, 16, rec.args);
         auto [it, fresh] = uniq.emplace(cp, cps.size());
@@ -78,8 +78,8 @@ DetailedValidator::cells(const DesignPoint &dp)
     std::vector<gpu::DetailedResult> cell_results =
         sim.simulateBatch(cps, backend, pool);
     cellCount += cps.size();
-    pc.results.resize(records.size());
-    for (size_t d = 0; d < records.size(); ++d)
+    pc.results.resize(num);
+    for (size_t d = 0; d < num; ++d)
         pc.results[d] = cell_results[cell_of[d]];
     pc.simulated = true;
     return pc;
@@ -89,8 +89,8 @@ DetailedValidator::Report
 DetailedValidator::validate(const SubsetSelection &sel,
                             const DesignPoint &dp)
 {
-    const auto &records = app.db.dispatches();
-    GT_ASSERT(!records.empty(), app.name, ": empty database");
+    const uint64_t num = app.db.numDispatches();
+    GT_ASSERT(num > 0, app.name, ": empty database");
     const PointCells &pc = cells(dp);
 
     Report r;
@@ -99,8 +99,8 @@ DetailedValidator::validate(const SubsetSelection &sel,
     // identical).
     uint64_t full_instrs = 0;
     double full_seconds = 0.0;
-    for (size_t d = 0; d < records.size(); ++d) {
-        full_instrs += records[d].profile.instrs;
+    for (size_t d = 0; d < num; ++d) {
+        full_instrs += app.db.profileAt(d).instrs;
         full_seconds += pc.results[d].seconds;
         r.fullWalked += pc.results[d].simulatedInstrs;
     }
@@ -110,13 +110,13 @@ DetailedValidator::validate(const SubsetSelection &sel,
     // ratio-weighted sum over per-interval SPI).
     for (size_t c = 0; c < sel.selected.size(); ++c) {
         const Interval &iv = sel.intervals[sel.selected[c]];
-        GT_ASSERT(iv.lastDispatch < records.size(), app.name,
+        GT_ASSERT(iv.lastDispatch < num, app.name,
                   ": selection does not match this database");
         uint64_t instrs = 0;
         double seconds = 0.0;
         for (uint64_t d = iv.firstDispatch; d <= iv.lastDispatch;
              ++d) {
-            instrs += records[d].profile.instrs;
+            instrs += app.db.profileAt(d).instrs;
             seconds += pc.results[d].seconds;
             r.subsetWalked += pc.results[d].simulatedInstrs;
         }

@@ -47,8 +47,7 @@ DispatchFeatureCache::DispatchFeatureCache(const TraceDatabase &db)
     using detail::tagReadWrite;
     using detail::tagWrite;
 
-    const auto &dispatches = db.dispatches();
-    numDispatches = dispatches.size();
+    numDispatches = db.numDispatches();
 
     // Interim column ids are assigned in first-encounter order; a
     // final remap below renumbers them so ascending column id means
@@ -75,8 +74,8 @@ DispatchFeatureCache::DispatchFeatureCache(const TraceDatabase &db)
         stream.values.push_back(value);
     };
 
-    for (const DispatchRecord &rec : dispatches) {
-        const gtpin::DispatchProfile &p = rec.profile;
+    for (uint64_t d = 0; d < numDispatches; ++d) {
+        const gtpin::DispatchProfile &p = db.profileAt(d);
         p.checkShape();
 
         double instrs = (double)p.instrs;

@@ -159,8 +159,7 @@ extractFeaturesMap(const TraceDatabase &db, const Interval &interval,
     using detail::tagReadWrite;
     using detail::tagWrite;
 
-    const auto &dispatches = db.dispatches();
-    GT_ASSERT(interval.lastDispatch < dispatches.size(),
+    GT_ASSERT(interval.lastDispatch < db.numDispatches(),
               "interval out of range");
 
     std::map<uint64_t, double> data;
@@ -171,7 +170,7 @@ extractFeaturesMap(const TraceDatabase &db, const Interval &interval,
 
     for (uint64_t i = interval.firstDispatch;
          i <= interval.lastDispatch; ++i) {
-        const gtpin::DispatchProfile &p = dispatches[i].profile;
+        const gtpin::DispatchProfile &p = db.profileAt(i);
 
         if (!isBlockFeature(kind)) {
             uint64_t args = 0, gws = 0;

@@ -30,8 +30,8 @@ std::vector<Interval>
 buildIntervals(const TraceDatabase &db, IntervalScheme scheme,
                uint64_t target_instrs)
 {
-    const auto &dispatches = db.dispatches();
-    GT_ASSERT(!dispatches.empty(), "interval build on empty trace");
+    const uint64_t num = db.numDispatches();
+    GT_ASSERT(num > 0, "interval build on empty trace");
 
     if (target_instrs == 0)
         target_instrs = std::max<uint64_t>(1, db.totalInstrs() / 1000);
@@ -53,23 +53,22 @@ buildIntervals(const TraceDatabase &db, IntervalScheme scheme,
         open = false;
     };
 
-    for (uint64_t i = 0; i < dispatches.size(); ++i) {
-        const DispatchRecord &rec = dispatches[i];
+    for (uint64_t i = 0; i < num; ++i) {
+        const uint64_t epoch = db.syncEpoch(i);
 
         if (open) {
             bool boundary = false;
             switch (scheme) {
               case IntervalScheme::SyncBounded:
-                boundary = rec.syncEpoch !=
-                    dispatches[cur.firstDispatch].syncEpoch;
+                boundary = epoch != db.syncEpoch(cur.firstDispatch);
                 break;
               case IntervalScheme::ApproxInstructions:
                 // Close at sync epochs always; otherwise once the
                 // chunk has reached the target. A kernel invocation
                 // is never split, so chunks may overshoot — that is
                 // the "approximately" in the paper's name.
-                boundary = rec.syncEpoch !=
-                        dispatches[cur.firstDispatch].syncEpoch ||
+                boundary = epoch !=
+                        db.syncEpoch(cur.firstDispatch) ||
                     db.rangeInstrs(cur.firstDispatch, i - 1) >=
                         target_instrs;
                 break;
@@ -88,7 +87,7 @@ buildIntervals(const TraceDatabase &db, IntervalScheme scheme,
         }
     }
     if (open)
-        close(dispatches.size() - 1);
+        close(num - 1);
 
     return intervals;
 }

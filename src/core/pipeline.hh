@@ -93,11 +93,15 @@ std::vector<ProfiledApp> profileSuite(
 
 /**
  * Replay @p recording on @p config under @p trial with the GT-Pin
- * selection tool attached, returning the new trial's database.
+ * selection tool attached, returning the new trial's database built
+ * on @p backend (defaults to the process-wide GT_TRACEDB choice;
+ * the differential tests pin it to compare backends on one replay).
  */
 TraceDatabase replayTrial(const cfl::Recording &recording,
                           const gpu::DeviceConfig &config,
-                          const gpu::TrialConfig &trial);
+                          const gpu::TrialConfig &trial,
+                          TraceDbBackend backend =
+                              defaultTraceDbBackend());
 
 } // namespace gt::core
 

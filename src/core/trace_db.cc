@@ -1,16 +1,56 @@
 #include "core/trace_db.hh"
 
+#include <cstdlib>
 #include <map>
 
 #include "common/logging.hh"
+#include "common/table.hh"
+#include "core/trace_store.hh"
 
 namespace gt::core
 {
 
+TraceDatabase::TraceDatabase() = default;
+TraceDatabase::~TraceDatabase() = default;
+TraceDatabase::TraceDatabase(TraceDatabase &&) noexcept = default;
+TraceDatabase &
+TraceDatabase::operator=(TraceDatabase &&) noexcept = default;
+
+TraceDbBackend
+defaultTraceDbBackend()
+{
+    static const TraceDbBackend selected = [] {
+        TraceDbBackend b = TraceDbBackend::Columnar;
+        if (const char *env = std::getenv("GT_TRACEDB");
+            env && *env != '\0') {
+            std::string value(env);
+            if (value == "mem") {
+                b = TraceDbBackend::Mem;
+            } else if (value != "columnar") {
+                fatal("GT_TRACEDB='", value,
+                      "' is not a trace-database backend "
+                      "(expected 'mem' or 'columnar')");
+            }
+        }
+        inform("trace db: ", traceDbBackendName(b),
+               " storage backend "
+               "(override with GT_TRACEDB=mem|columnar)");
+        return b;
+    }();
+    return selected;
+}
+
+const char *
+traceDbBackendName(TraceDbBackend backend)
+{
+    return backend == TraceDbBackend::Mem ? "mem" : "columnar";
+}
+
 TraceDatabase
 TraceDatabase::build(std::vector<gtpin::DispatchProfile> profiles,
                      const std::vector<cfl::KernelTiming> &timings,
-                     const std::vector<ocl::ApiCallRecord> &call_stream)
+                     const std::vector<ocl::ApiCallRecord> &call_stream,
+                     TraceDbBackend backend, uint32_t block_size)
 {
     GT_ASSERT(profiles.size() == timings.size(),
               "GT-Pin saw ", profiles.size(),
@@ -39,7 +79,10 @@ TraceDatabase::build(std::vector<gtpin::DispatchProfile> profiles,
         }
     }
 
+    // Both backends share this join so the running totals (and thus
+    // measuredSpi) accumulate in the identical FP order.
     TraceDatabase db;
+    db.kind = backend;
     db.records.reserve(profiles.size());
     db.instrPrefix.reserve(profiles.size() + 1);
     db.instrPrefix.push_back(0);
@@ -74,35 +117,140 @@ TraceDatabase::build(std::vector<gtpin::DispatchProfile> profiles,
                   "sync epochs out of order");
     }
 
+    db.count = db.records.size();
     if (!db.records.empty())
         db.syncEpochs = db.records.back().syncEpoch + 1;
+    if (db.instrTotal > 0)
+        db.spiCached = db.secondsTotal / (double)db.instrTotal;
+
+    if (backend == TraceDbBackend::Columnar && !db.records.empty()) {
+        trace_store::ColumnarOptions options;
+        options.blockSize = block_size;
+        db.store = trace_store::ColumnarStore::spill(db.records,
+                                                     options);
+        // Drop the resident copies; every accessor now reads the
+        // mapping. An empty database keeps no store — the count
+        // guards in the accessors cover it.
+        db.records.clear();
+        db.records.shrink_to_fit();
+        db.instrPrefix.clear();
+        db.instrPrefix.shrink_to_fit();
+        db.secondsCol.clear();
+        db.secondsCol.shrink_to_fit();
+    }
+
+    // One footprint line per process, at the first real build: the
+    // paper's traces are collected once and queried many times, so
+    // this is where the resident-memory story is decided.
+    if (db.count > 0) {
+        static const bool logged = [&db] {
+            TraceDbFootprint fp = db.memoryFootprint();
+            inform("trace db: ", humanCount(db.count), " dispatches, ",
+                   humanBytes(fp.residentBytes), " resident (",
+                   humanBytes(fp.recordBytes), " records, ",
+                   humanBytes(fp.columnBytes), " columns, ",
+                   humanBytes(fp.profileBytes), " profiles; spill ",
+                   humanBytes(fp.fileBytes), ")");
+            return true;
+        }();
+        (void)logged;
+    }
     return db;
+}
+
+const gtpin::DispatchProfile &
+TraceDatabase::profileAt(uint64_t i) const
+{
+    GT_ASSERT(i < count, "dispatch ", i, " out of range");
+    if (store)
+        return store->profileAt(i);
+    return records[i].profile;
+}
+
+double
+TraceDatabase::seconds(uint64_t i) const
+{
+    GT_ASSERT(i < count, "dispatch ", i, " out of range");
+    if (store)
+        return store->seconds(i);
+    return records[i].seconds;
+}
+
+uint64_t
+TraceDatabase::syncEpoch(uint64_t i) const
+{
+    GT_ASSERT(i < count, "dispatch ", i, " out of range");
+    if (store)
+        return store->syncEpoch(i);
+    return records[i].syncEpoch;
 }
 
 uint64_t
 TraceDatabase::rangeInstrs(uint64_t first, uint64_t last) const
 {
-    GT_ASSERT(first <= last && last < records.size(),
+    GT_ASSERT(first <= last && last < count,
               "instr range [", first, ", ", last, "] out of range");
+    if (store) {
+        // Exact integers: anchor + varint-delta reconstruction makes
+        // these the same prefix values the mem backend stores.
+        return store->instrPrefixAt(last + 1) -
+               store->instrPrefixAt(first);
+    }
     return instrPrefix[last + 1] - instrPrefix[first];
 }
 
 double
 TraceDatabase::rangeSeconds(uint64_t first, uint64_t last) const
 {
-    GT_ASSERT(first <= last && last < records.size(),
+    GT_ASSERT(first <= last && last < count,
               "seconds range [", first, ", ", last, "] out of range");
+    // Left-to-right over the dense column on both backends; the
+    // columnar file stores the raw double bits, so the accumulation
+    // is bit-for-bit the same sum.
+    const double *col = secondsData();
     double acc = 0.0;
     for (uint64_t i = first; i <= last; ++i)
-        acc += secondsCol[i];
+        acc += col[i];
     return acc;
+}
+
+const double *
+TraceDatabase::secondsData() const
+{
+    if (store)
+        return store->secondsData();
+    return secondsCol.data();
 }
 
 double
 TraceDatabase::measuredSpi() const
 {
     GT_ASSERT(instrTotal > 0, "measured SPI of an empty database");
-    return secondsTotal / (double)instrTotal;
+    return spiCached;
+}
+
+TraceDbFootprint
+TraceDatabase::memoryFootprint() const
+{
+    TraceDbFootprint fp;
+    if (store) {
+        fp.columnBytes = store->residentBytes();
+        fp.profileBytes = store->payloadBytes();
+        fp.fileBytes = store->fileBytes();
+        fp.cacheBytes = store->cacheBytesThisThread();
+        fp.residentBytes = fp.columnBytes + fp.cacheBytes;
+    } else {
+        fp.recordBytes = records.size() * sizeof(DispatchRecord);
+        for (const DispatchRecord &rec : records) {
+            fp.profileBytes += rec.profile.footprintBytes() -
+                               sizeof(gtpin::DispatchProfile);
+        }
+        fp.columnBytes = instrPrefix.size() * sizeof(uint64_t) +
+                         secondsCol.size() * sizeof(double);
+        fp.residentBytes =
+            fp.recordBytes + fp.profileBytes + fp.columnBytes;
+    }
+    return fp;
 }
 
 } // namespace gt::core

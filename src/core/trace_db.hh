@@ -10,15 +10,29 @@
  * TraceDatabase joins them by dispatch sequence number and marks
  * which dispatches begin a new synchronization epoch — the only
  * places a GPU simulation interval may legally start or stop.
+ *
+ * Two storage backends sit behind one accessor API (GT_TRACEDB):
+ *
+ *  - `columnar` (default): build() lowers the joined records into an
+ *    on-disk compressed columnar spill (core/trace_store) and keeps
+ *    only block-index metadata resident; profiles decode on demand
+ *    through per-thread block caches.
+ *  - `mem`: the original fully-resident record vector — the bitwise
+ *    oracle the columnar backend is differentially tested against.
+ *
+ * Every accessor returns bitwise-identical values on both backends:
+ * both run the same join (so totals accumulate in the same FP
+ * order), seconds are stored as raw doubles and range sums always
+ * accumulate left-to-right over the dense column, and the integer
+ * columns round-trip exactly.
  */
 
 #ifndef GT_CORE_TRACE_DB_HH
 #define GT_CORE_TRACE_DB_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <type_traits>
-#include <utility>
 #include <vector>
 
 #include "cfl/tracer.hh"
@@ -26,6 +40,12 @@
 
 namespace gt::core
 {
+
+namespace trace_store
+{
+class ColumnarStore;
+constexpr uint32_t defaultBlockSize = 256;
+} // namespace trace_store
 
 /** One kernel invocation, fully joined. */
 struct DispatchRecord
@@ -37,23 +57,69 @@ struct DispatchRecord
     uint64_t syncEpoch = 0;
 };
 
+enum class TraceDbBackend
+{
+    Mem,      //!< fully-resident record vector (the oracle)
+    Columnar, //!< on-disk compressed columnar spill
+};
+
+/** Process-wide backend from GT_TRACEDB (columnar unless overridden;
+ * fatal on an unknown value). Logged once. */
+TraceDbBackend defaultTraceDbBackend();
+
+const char *traceDbBackendName(TraceDbBackend backend);
+
+/** Where one database's bytes live; see memoryFootprint(). */
+struct TraceDbFootprint
+{
+    /** Resident joined-record storage: the DispatchRecord structs
+     * (mem backend only; the columnar backend drops them). */
+    uint64_t recordBytes = 0;
+    /** Resident column/index metadata: prefix sums and the seconds
+     * column (mem), or the block index, name table, and epoch runs
+     * (columnar). */
+    uint64_t columnBytes = 0;
+    /** Profile payload bytes: heap behind the resident profiles
+     * (mem), or the encoded on-disk payload section (columnar). */
+    uint64_t profileBytes = 0;
+    /** Spill-file bytes backing the mapping (columnar only). */
+    uint64_t fileBytes = 0;
+    /** Decoded-block bytes in the *calling thread's* cache
+     * (columnar only). */
+    uint64_t cacheBytes = 0;
+    /** Total bytes resident in memory for this database (records +
+     * columns + resident profiles + this thread's cache). */
+    uint64_t residentBytes = 0;
+};
+
 /**
  * The whole profiled execution of one application.
  *
  * **Thread safety:** a fully built TraceDatabase is immutable — the
  * only mutating operation is build(), which returns by value — and
- * every public accessor is const and touches no hidden caches or
- * mutable members. Any number of scheduler tasks may therefore read
- * one instance concurrently with no synchronization; the 30-config
- * explorer and the fig8 validation fan-out rely on exactly this.
- * Keep it that way: adding lazily-computed (mutable) state to this
- * class requires revisiting every parallel caller. The per-dispatch
- * prefix sums and the dense seconds column below are computed
- * eagerly by build() for the same reason.
+ * every public accessor is const and touches no shared mutable
+ * state (the columnar backend's decode caches are thread_local).
+ * Any number of scheduler tasks may therefore read one instance
+ * concurrently with no synchronization; the 30-config explorer and
+ * the fig8 validation fan-out rely on exactly this. Keep it that
+ * way: adding lazily-computed shared (mutable) state to this class
+ * requires revisiting every parallel caller. The totals, prefix
+ * sums, and measured SPI below are computed eagerly by build() for
+ * the same reason.
+ *
+ * **Reference lifetime:** on the columnar backend profileAt()
+ * returns a reference into the calling thread's decoded-block
+ * cache, valid until that thread touches several (>= the cache's
+ * slot count) other blocks. Copy the profile to hold it longer.
  */
 class TraceDatabase
 {
   public:
+    TraceDatabase();
+    ~TraceDatabase();
+    TraceDatabase(TraceDatabase &&) noexcept;
+    TraceDatabase &operator=(TraceDatabase &&) noexcept;
+
     /**
      * Join GT-Pin profiles with CoFluent timings and the API call
      * stream. @p profiles and @p timings must cover the same
@@ -62,14 +128,23 @@ class TraceDatabase
     static TraceDatabase
     build(std::vector<gtpin::DispatchProfile> profiles,
           const std::vector<cfl::KernelTiming> &timings,
-          const std::vector<ocl::ApiCallRecord> &call_stream);
+          const std::vector<ocl::ApiCallRecord> &call_stream,
+          TraceDbBackend backend = defaultTraceDbBackend(),
+          uint32_t block_size = trace_store::defaultBlockSize);
 
-    const std::vector<DispatchRecord> &dispatches() const
-    {
-        return records;
-    }
+    TraceDbBackend backend() const { return kind; }
 
-    uint64_t numDispatches() const { return records.size(); }
+    uint64_t numDispatches() const { return count; }
+
+    /** Dispatch @p i's device profile (see the class comment for
+     * the columnar backend's reference lifetime). */
+    const gtpin::DispatchProfile &profileAt(uint64_t i) const;
+
+    /** Dispatch @p i's CoFluent kernel seconds. */
+    double seconds(uint64_t i) const;
+
+    /** Synchronization epoch dispatch @p i belongs to. */
+    uint64_t syncEpoch(uint64_t i) const;
 
     /** Total dynamic application instructions across dispatches. */
     uint64_t totalInstrs() const { return instrTotal; }
@@ -96,35 +171,38 @@ class TraceDatabase
      */
     double rangeSeconds(uint64_t first, uint64_t last) const;
 
-    /** Per-dispatch kernel seconds as one dense column (same values
-     * as dispatches()[i].seconds, cache-friendly to scan). */
-    const std::vector<double> &secondsColumn() const
-    {
-        return secondsCol;
-    }
+    /** The dense per-dispatch seconds column (numDispatches()
+     * entries; resident for mem, mapped for columnar — same bits
+     * either way). */
+    const double *secondsData() const;
 
     /**
      * Whole-program measured seconds-per-instruction: the left side
-     * of the paper's Eq. 1.
+     * of the paper's Eq. 1. Cached at build() — fig6/fig8 replay
+     * loops call this per interval set.
      */
     double measuredSpi() const;
 
+    /** Where this database's bytes live (records, columns, profile
+     * payloads, spill file, this thread's decode cache). */
+    TraceDbFootprint memoryFootprint() const;
+
   private:
-    std::vector<DispatchRecord> records;
-    std::vector<uint64_t> instrPrefix; //!< numDispatches + 1 entries
-    std::vector<double> secondsCol;    //!< per-dispatch seconds
+    TraceDbBackend kind = TraceDbBackend::Mem;
+    uint64_t count = 0;
     uint64_t instrTotal = 0;
     double secondsTotal = 0.0;
     uint64_t syncEpochs = 0;
-};
+    double spiCached = 0.0; //!< secondsTotal / instrTotal at build
 
-// Compile-time spot checks of the concurrent-reader contract: const
-// access must hand out const views, never copies of hidden state.
-static_assert(
-    std::is_same_v<decltype(std::declval<const TraceDatabase &>()
-                                .dispatches()),
-                   const std::vector<DispatchRecord> &>,
-    "TraceDatabase::dispatches() must expose const storage");
+    // Mem backend: the fully-resident oracle.
+    std::vector<DispatchRecord> records;
+    std::vector<uint64_t> instrPrefix; //!< numDispatches + 1 entries
+    std::vector<double> secondsCol;    //!< per-dispatch seconds
+
+    // Columnar backend: the mapped spill (null for mem / empty).
+    std::shared_ptr<const trace_store::ColumnarStore> store;
+};
 
 } // namespace gt::core
 

@@ -15,6 +15,7 @@
 
 #include <map>
 
+#include "common/varint.hh"
 #include "gtpin/gtpin.hh"
 
 namespace gt::gtpin
@@ -58,7 +59,36 @@ struct DispatchProfile
      * contract every indexed consumer (feature lowering, the BB
      * extractors) relies on. */
     void checkShape() const;
+
+    /** Deep resident size: the struct plus every heap allocation
+     * (name, args, the four per-block arrays), by element size. The
+     * trace database's memory-footprint accounting sums this. */
+    uint64_t footprintBytes() const;
 };
+
+/**
+ * Columnar extraction of one profile into a varint payload — the
+ * per-dispatch record format of core/trace_store. Every integer
+ * field is LEB128; the kernel name is replaced by @p name_id, an
+ * index into the store's interned name table (names repeat across
+ * thousands of dispatches of the same kernel, so they are stored
+ * once). The layout is positional: seq, kernelId, nameId, gws,
+ * argsHash, args, instrs, the four per-block arrays, bytes R/W.
+ */
+void encodeProfilePayload(const DispatchProfile &profile,
+                          uint32_t name_id,
+                          std::vector<uint8_t> &out);
+
+/**
+ * Inverse of encodeProfilePayload(): decode one profile from
+ * @p reader, resolving the interned name through @p names. All
+ * integer fields round-trip exactly, and the rebuilt string equals
+ * the encoded one, so the result is bitwise identical to the
+ * profile that was packed.
+ */
+DispatchProfile
+decodeProfilePayload(ByteReader &reader,
+                     const std::vector<std::string> &names);
 
 /** Collects DispatchProfiles for every kernel invocation. */
 class KernelProfileTool : public GtPinTool

@@ -169,8 +169,8 @@ TEST_P(EngineWorkloadTest, RangeSumsMatchDispatchLoops)
             double seconds = 0.0;
             for (uint64_t i = iv.firstDispatch;
                  i <= iv.lastDispatch; ++i) {
-                instrs += db.dispatches()[i].profile.instrs;
-                seconds += db.dispatches()[i].seconds;
+                instrs += db.profileAt(i).instrs;
+                seconds += db.seconds(i);
             }
             EXPECT_EQ(db.rangeInstrs(iv.firstDispatch,
                                      iv.lastDispatch),

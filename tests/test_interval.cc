@@ -80,15 +80,15 @@ checkInvariants(const TraceDatabase &db,
                       intervals[i - 1].lastDispatch + 1);
         }
         // Never spans a synchronization call.
-        EXPECT_EQ(db.dispatches()[iv.firstDispatch].syncEpoch,
-                  db.dispatches()[iv.lastDispatch].syncEpoch);
+        EXPECT_EQ(db.syncEpoch(iv.firstDispatch),
+                  db.syncEpoch(iv.lastDispatch));
         // Aggregates are consistent.
         uint64_t instrs = 0;
         double seconds = 0.0;
         for (uint64_t d = iv.firstDispatch; d <= iv.lastDispatch;
              ++d) {
-            instrs += db.dispatches()[d].profile.instrs;
-            seconds += db.dispatches()[d].seconds;
+            instrs += db.profileAt(d).instrs;
+            seconds += db.seconds(d);
         }
         EXPECT_EQ(instrs, iv.instrs);
         EXPECT_DOUBLE_EQ(seconds, iv.seconds);

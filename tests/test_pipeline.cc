@@ -60,12 +60,11 @@ TEST(Pipeline, ReplaySameTrialIsIdentical)
     // instrumented timing differs slightly; instruction counts are
     // the application's own and must match exactly.
     for (uint64_t i = 0; i < db2.numDispatches(); ++i) {
-        EXPECT_EQ(db2.dispatches()[i].profile.instrs,
-                  app.db.dispatches()[i].profile.instrs);
-        EXPECT_EQ(db2.dispatches()[i].profile.kernelName,
-                  app.db.dispatches()[i].profile.kernelName);
-        EXPECT_EQ(db2.dispatches()[i].syncEpoch,
-                  app.db.dispatches()[i].syncEpoch);
+        EXPECT_EQ(db2.profileAt(i).instrs,
+                  app.db.profileAt(i).instrs);
+        EXPECT_EQ(db2.profileAt(i).kernelName,
+                  app.db.profileAt(i).kernelName);
+        EXPECT_EQ(db2.syncEpoch(i), app.db.syncEpoch(i));
     }
 }
 
@@ -79,10 +78,8 @@ TEST(Pipeline, ReplayTwiceSameSeedIsBitIdentical)
     TraceDatabase b = replayTrial(
         app.recording, gpu::DeviceConfig::hd4000(), trial);
     ASSERT_EQ(a.numDispatches(), b.numDispatches());
-    for (uint64_t i = 0; i < a.numDispatches(); ++i) {
-        EXPECT_DOUBLE_EQ(a.dispatches()[i].seconds,
-                         b.dispatches()[i].seconds);
-    }
+    for (uint64_t i = 0; i < a.numDispatches(); ++i)
+        EXPECT_DOUBLE_EQ(a.seconds(i), b.seconds(i));
 }
 
 TEST(Pipeline, LowerFrequencyRaisesSpi)

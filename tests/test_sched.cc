@@ -335,11 +335,10 @@ TEST(Determinism, ProfileSuiteMatchesSerialProfileApp)
                       reference[i].db.totalSeconds());
             for (uint64_t d = 0; d < suite[i].db.numDispatches();
                  ++d) {
-                ASSERT_EQ(suite[i].db.dispatches()[d].seconds,
-                          reference[i].db.dispatches()[d].seconds);
-                ASSERT_EQ(suite[i].db.dispatches()[d].profile.instrs,
-                          reference[i].db.dispatches()[d].profile
-                              .instrs);
+                ASSERT_EQ(suite[i].db.seconds(d),
+                          reference[i].db.seconds(d));
+                ASSERT_EQ(suite[i].db.profileAt(d).instrs,
+                          reference[i].db.profileAt(d).instrs);
             }
             EXPECT_EQ(suite[i].recording.size(),
                       reference[i].recording.size());

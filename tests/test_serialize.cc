@@ -155,6 +155,47 @@ TEST(Serialize, RejectsBadCallId)
     setLogQuiet(false);
 }
 
+TEST(Serialize, RejectsUnsupportedVersion)
+{
+    setLogQuiet(true);
+    std::stringstream buffer("gtpin-recording v99\nend\n");
+    // A versioned header that is not ours must name the version
+    // problem, not just "bad magic".
+    try {
+        loadRecording(buffer);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("version"),
+                  std::string::npos);
+    }
+    setLogQuiet(false);
+}
+
+TEST(Serialize, RejectsNegativeAndHugeCounts)
+{
+    setLogQuiet(true);
+    // A negative count would wrap through the unsigned extraction
+    // into a ~2^64 resize; it must die in validation instead.
+    const char *negative_uargs =
+        "gtpin-recording v1\ncall 0 0 0 0 0 0  u -1 p 0  s 0\n"
+        "end\n";
+    std::stringstream a(negative_uargs);
+    EXPECT_THROW(loadRecording(a), FatalError);
+
+    const char *huge_payload =
+        "gtpin-recording v1\n"
+        "call 0 0 0 0 0 0  u 0 p 99999999999 s 0\nend\n";
+    std::stringstream b(huge_payload);
+    EXPECT_THROW(loadRecording(b), FatalError);
+
+    const char *negative_string =
+        "gtpin-recording v1\ncall 0 0 0 0 0 -7 x u 0 p 0  s 0\n"
+        "end\n";
+    std::stringstream c(negative_string);
+    EXPECT_THROW(loadRecording(c), FatalError);
+    setLogQuiet(false);
+}
+
 TEST(Serialize, MissingFileFatal)
 {
     setLogQuiet(true);

@@ -95,11 +95,11 @@ TEST(TraceDb, SyncEpochsFollowTheCallStream)
         std::move(profiles), timings, makeStream("EESESEEE"));
 
     EXPECT_EQ(db.numSyncEpochs(), 3u);
-    EXPECT_EQ(db.dispatches()[0].syncEpoch, 0u);
-    EXPECT_EQ(db.dispatches()[1].syncEpoch, 0u);
-    EXPECT_EQ(db.dispatches()[2].syncEpoch, 1u);
-    EXPECT_EQ(db.dispatches()[3].syncEpoch, 2u);
-    EXPECT_EQ(db.dispatches()[5].syncEpoch, 2u);
+    EXPECT_EQ(db.syncEpoch(0), 0u);
+    EXPECT_EQ(db.syncEpoch(1), 0u);
+    EXPECT_EQ(db.syncEpoch(2), 1u);
+    EXPECT_EQ(db.syncEpoch(3), 2u);
+    EXPECT_EQ(db.syncEpoch(5), 2u);
 }
 
 TEST(TraceDb, ConsecutiveSyncsDoNotCreateEmptyEpochs)
