@@ -142,8 +142,7 @@ int
 main(int argc, char **argv)
 {
     setLogQuiet(true);
-    const bool smoke =
-        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const bool smoke = bench::stripSmokeFlag(argc, argv);
 
     // Whole-program detailed simulation bounds the choice to the
     // smallest applications of the suite.
@@ -236,31 +235,27 @@ main(int argc, char **argv)
                   << "x, bit-identical at 1/4/hw threads)\n";
     }
 
-    double log_sum = 0.0;
+    bench::GeoMean geomean;
     for (const Row &r : rows)
-        log_sum += std::log(r.legacyS / r.parallelS);
-    double geomean = std::exp(log_sum / (double)rows.size());
+        geomean.add(r.legacyS / r.parallelS);
     std::cout << "\ngeomean speedup (checkpointed parallel vs "
                  "legacy): "
-              << fixed(geomean, 1) << "x\n";
-    GT_ASSERT(geomean >= 3.0,
-              "detailed validation speedup regressed below 3x: ",
-              geomean);
+              << fixed(geomean.value(), 1) << "x\n";
 
-    std::ofstream json("BENCH_detailed.json");
-    json << "{\n  \"benchmarks\": [\n";
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const Row &r = rows[i];
-        json << "    {\"app\": \"" << r.app
-             << "\", \"selections\": " << r.selections
-             << ", \"dispatches\": " << r.dispatches
-             << ", \"legacy_s\": " << r.legacyS
-             << ", \"serial_s\": " << r.serialS
-             << ", \"parallel_s\": " << r.parallelS
-             << ", \"speedup\": " << r.legacyS / r.parallelS << "}"
-             << (i + 1 < rows.size() ? ",\n" : "\n");
+    bench::BenchReport report("BENCH_detailed.json");
+    for (const Row &r : rows) {
+        report.addRow()
+            .field("app", r.app)
+            .field("selections", r.selections)
+            .field("dispatches", r.dispatches)
+            .field("legacy_s", r.legacyS)
+            .field("serial_s", r.serialS)
+            .field("parallel_s", r.parallelS)
+            .field("speedup", r.legacyS / r.parallelS);
     }
-    json << "  ],\n  \"geomean_speedup\": " << geomean << "\n}\n";
-    std::cout << "wrote BENCH_detailed.json\n";
-    return 0;
+    report.scalar("geomean_speedup", geomean.value());
+    report.gate("speedup_gate", geomean.value() >= 3.0,
+                "detailed validation speedup regressed below 3x: " +
+                    std::to_string(geomean.value()));
+    return report.finish();
 }

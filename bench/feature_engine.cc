@@ -21,13 +21,11 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cmath>
-#include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "bench/harness.hh"
 #include "common/logging.hh"
 #include "core/explorer.hh"
 #include "core/feature_engine.hh"
@@ -131,28 +129,6 @@ runExplore(benchmark::State &state, const BenchApp &b,
     }
 }
 
-class CaptureReporter : public benchmark::ConsoleReporter
-{
-  public:
-    void
-    ReportRuns(const std::vector<Run> &runs) override
-    {
-        for (const Run &run : runs) {
-            if (run.error_occurred)
-                continue;
-            std::string name = run.benchmark_name();
-            if (size_t pos = name.find("/min_time");
-                pos != std::string::npos) {
-                name.resize(pos);
-            }
-            times[name] = run.GetAdjustedRealTime();
-        }
-        ConsoleReporter::ReportRuns(runs);
-    }
-
-    std::map<std::string, double> times;
-};
-
 std::string
 extractCase(const std::string &app, FeatureKind kind,
             const char *backend)
@@ -208,15 +184,12 @@ main(int argc, char **argv)
         }
     }
 
-    CaptureReporter reporter;
+    bench::CaptureReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
 
-    std::ofstream json("BENCH_features.json");
-    json << "{\n  \"extract\": [\n";
-    double extract_log = 0.0;
-    int extract_count = 0;
-    bool first = true;
+    bench::BenchReport report("BENCH_features.json");
+    bench::GeoMean extract_geo, explore_geo;
     for (const BenchApp &b : apps()) {
         for (int k = 0; k < numFeatureKinds; ++k) {
             FeatureKind kind = (FeatureKind)k;
@@ -229,22 +202,15 @@ main(int argc, char **argv)
                 continue;
             }
             double speedup = mp->second / fl->second;
-            extract_log += std::log(speedup);
-            ++extract_count;
-            if (!first)
-                json << ",\n";
-            first = false;
-            json << "    {\"app\": \"" << b.name
-                 << "\", \"kind\": \"" << featureKindName(kind)
-                 << "\", \"map_ns\": " << mp->second
-                 << ", \"flat_ns\": " << fl->second
-                 << ", \"speedup\": " << speedup << "}";
+            extract_geo.add(speedup);
+            report.addRow("extract")
+                .field("app", b.name)
+                .field("kind", featureKindName(kind))
+                .field("map_ns", mp->second)
+                .field("flat_ns", fl->second)
+                .field("speedup", speedup);
         }
     }
-    json << "\n  ],\n  \"explore\": [\n";
-    double explore_log = 0.0;
-    int explore_count = 0;
-    first = true;
     for (const BenchApp &b : apps()) {
         auto mp = reporter.times.find(exploreCase(b.name, "map"));
         auto fl = reporter.times.find(exploreCase(b.name, "flat"));
@@ -253,31 +219,23 @@ main(int argc, char **argv)
             continue;
         }
         double speedup = mp->second / fl->second;
-        explore_log += std::log(speedup);
-        ++explore_count;
-        if (!first)
-            json << ",\n";
-        first = false;
-        json << "    {\"app\": \"" << b.name
-             << "\", \"map_ns\": " << mp->second
-             << ", \"flat_ns\": " << fl->second
-             << ", \"speedup\": " << speedup << "}";
+        explore_geo.add(speedup);
+        report.addRow("explore")
+            .field("app", b.name)
+            .field("map_ns", mp->second)
+            .field("flat_ns", fl->second)
+            .field("speedup", speedup);
     }
-    json << "\n  ]";
     std::cout << "\n";
-    if (extract_count > 0) {
-        double geomean = std::exp(extract_log / extract_count);
-        json << ",\n  \"geomean_speedup_extract\": " << geomean;
+    if (extract_geo.count() > 0) {
+        report.scalar("geomean_speedup_extract", extract_geo.value());
         std::cout << "geomean speedup (per-kind extract, flat vs "
-                     "map): " << geomean << "x\n";
+                     "map): " << extract_geo.value() << "x\n";
     }
-    if (explore_count > 0) {
-        double geomean = std::exp(explore_log / explore_count);
-        json << ",\n  \"geomean_speedup_explore\": " << geomean;
+    if (explore_geo.count() > 0) {
+        report.scalar("geomean_speedup_explore", explore_geo.value());
         std::cout << "geomean speedup (end-to-end exploreConfigs, "
-                     "flat vs map): " << geomean << "x\n";
+                     "flat vs map): " << explore_geo.value() << "x\n";
     }
-    json << "\n}\n";
-    std::cout << "wrote BENCH_features.json\n";
-    return 0;
+    return report.finish();
 }

@@ -19,9 +19,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cmath>
-#include <cstring>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -29,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness.hh"
 #include "common/logging.hh"
 #include "gpu/executor.hh"
 #include "workloads/templates.hh"
@@ -95,30 +93,6 @@ runExec(benchmark::State &state, const std::string &tmpl,
         (double)instrs, benchmark::Counter::kIsRate);
 }
 
-/** Captures adjusted per-iteration real time for every finished run
- * on top of the normal console output. */
-class CaptureReporter : public benchmark::ConsoleReporter
-{
-  public:
-    void
-    ReportRuns(const std::vector<Run> &runs) override
-    {
-        for (const Run &run : runs) {
-            if (run.error_occurred)
-                continue;
-            std::string name = run.benchmark_name();
-            if (size_t pos = name.find("/min_time");
-                pos != std::string::npos) {
-                name.resize(pos);
-            }
-            times[name] = run.GetAdjustedRealTime();
-        }
-        ConsoleReporter::ReportRuns(runs);
-    }
-
-    std::map<std::string, double> times;
-};
-
 std::string
 caseName(const std::string &tmpl, const char *exec_name)
 {
@@ -130,17 +104,7 @@ caseName(const std::string &tmpl, const char *exec_name)
 int
 main(int argc, char **argv)
 {
-    // Strip our flag before google-benchmark parses the rest.
-    bool smoke = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-            for (int j = i; j + 1 < argc; ++j)
-                argv[j] = argv[j + 1];
-            --argc;
-            break;
-        }
-    }
+    bool smoke = bench::stripSmokeFlag(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
@@ -166,18 +130,15 @@ main(int argc, char **argv)
         }
     }
 
-    CaptureReporter reporter;
+    bench::CaptureReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
 
     // Pair up the timings: per-template speedups, a geomean over the
     // templates the gang path engaged on, and the enforced wide-SIMD
     // geomean.
-    std::ofstream json("BENCH_gang.json");
-    json << "{\n  \"benchmarks\": [\n";
-    double logSumGanged = 0, logSumWide = 0;
-    int numGanged = 0, numWide = 0;
-    bool first = true;
+    bench::BenchReport report("BENCH_gang.json");
+    bench::GeoMean geoGanged, geoWide;
     for (const std::string &tmpl : templates) {
         auto sc = reporter.times.find(caseName(tmpl, "scalar"));
         auto ga = reporter.times.find(caseName(tmpl, "gang"));
@@ -185,55 +146,40 @@ main(int argc, char **argv)
             continue;
         double speedup = sc->second / ga->second;
         bool ganged = gangEngaged[tmpl];
-        if (ganged) {
-            logSumGanged += std::log(speedup);
-            ++numGanged;
-        }
-        if (wideSimdSet.count(tmpl)) {
-            logSumWide += std::log(speedup);
-            ++numWide;
-        }
-        if (!first)
-            json << ",\n";
-        first = false;
-        json << "    {\"template\": \"" << tmpl
-             << "\", \"mode\": \"full\", \"scalar_ns\": " << sc->second
-             << ", \"gang_ns\": " << ga->second
-             << ", \"speedup\": " << speedup
-             << ", \"ganged\": " << (ganged ? "true" : "false") << "}";
+        if (ganged)
+            geoGanged.add(speedup);
+        if (wideSimdSet.count(tmpl))
+            geoWide.add(speedup);
+        report.addRow()
+            .field("template", tmpl)
+            .field("mode", "full")
+            .field("scalar_ns", sc->second)
+            .field("gang_ns", ga->second)
+            .field("speedup", speedup)
+            .field("ganged", ganged);
     }
-    json << "\n  ]";
 
-    int rc = 0;
     std::cout << "\n";
-    double geoGanged =
-        numGanged ? std::exp(logSumGanged / numGanged) : 0.0;
-    double geoWide = numWide ? std::exp(logSumWide / numWide) : 0.0;
-    json << ",\n  \"geomean_speedup_ganged\": " << geoGanged;
-    json << ",\n  \"geomean_speedup_wide_simd\": " << geoWide;
+    report.scalar("geomean_speedup_ganged", geoGanged.value());
+    report.scalar("geomean_speedup_wide_simd", geoWide.value());
     std::cout << "geomean speedup (Full mode, gang vs scalar, "
-              << numGanged << " gang-engaged templates): " << geoGanged
+              << geoGanged.count()
+              << " gang-engaged templates): " << geoGanged.value()
               << "x\n";
     std::cout << "geomean speedup (wide-SIMD set blur/stream/blend): "
-              << geoWide << "x\n";
+              << geoWide.value() << "x\n";
 
     // Acceptance gates. The wide-SIMD >= 2x bound is the PR's headline
     // claim; the engagement check keeps the numbers honest (a silent
     // fallback to scalar would "pass" with a 1.0x speedup otherwise).
-    for (const std::string &tmpl : wideSimdSet) {
-        if (!gangEngaged[tmpl]) {
-            std::cerr << "FAIL: gang path did not engage on '" << tmpl
-                      << "'\n";
-            rc = 1;
-        }
-    }
-    if (!smoke && geoWide < 2.0) {
-        std::cerr << "FAIL: wide-SIMD geomean speedup " << geoWide
-                  << "x below the enforced 2x bound\n";
-        rc = 1;
-    }
-    json << ",\n  \"wide_simd_gate\": "
-         << (rc == 0 ? "\"pass\"" : "\"fail\"") << "\n}\n";
-    std::cout << "wrote BENCH_gang.json\n";
-    return rc;
+    bool engaged = true;
+    for (const std::string &tmpl : wideSimdSet)
+        engaged = engaged && gangEngaged[tmpl];
+    report.gate("wide_simd_gate",
+                engaged && (smoke || geoWide.value() >= 2.0),
+                "wide-SIMD gang gate: engaged=" +
+                    std::string(engaged ? "yes" : "no") +
+                    ", geomean " + std::to_string(geoWide.value()) +
+                    "x (enforced bound 2x)");
+    return report.finish();
 }

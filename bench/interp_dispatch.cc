@@ -16,13 +16,12 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cmath>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "bench/harness.hh"
 #include "common/logging.hh"
 #include "gpu/executor.hh"
 #include "workloads/templates.hh"
@@ -70,32 +69,6 @@ runInterp(benchmark::State &state, const std::string &tmpl,
         (double)instrs, benchmark::Counter::kIsRate);
 }
 
-/** Captures adjusted per-iteration real time for every finished run
- * on top of the normal console output. */
-class CaptureReporter : public benchmark::ConsoleReporter
-{
-  public:
-    void
-    ReportRuns(const std::vector<Run> &runs) override
-    {
-        for (const Run &run : runs) {
-            if (run.error_occurred)
-                continue;
-            // Strip option suffixes ("/min_time:0.100") so lookups
-            // by the registered case name succeed.
-            std::string name = run.benchmark_name();
-            if (size_t pos = name.find("/min_time");
-                pos != std::string::npos) {
-                name.resize(pos);
-            }
-            times[name] = run.GetAdjustedRealTime();
-        }
-        ConsoleReporter::ReportRuns(runs);
-    }
-
-    std::map<std::string, double> times;
-};
-
 std::string
 caseName(const std::string &tmpl, const char *mode, const char *backend)
 {
@@ -137,17 +110,14 @@ main(int argc, char **argv)
         }
     }
 
-    CaptureReporter reporter;
+    bench::CaptureReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
 
     // Pair up the timings and derive per-template speedups plus the
     // per-mode geometric means the acceptance gate checks.
-    std::ofstream json("BENCH_interp.json");
-    json << "{\n  \"benchmarks\": [\n";
-    std::map<std::string, double> geomeanLog;
-    std::map<std::string, int> geomeanCount;
-    bool first = true;
+    bench::BenchReport report("BENCH_interp.json");
+    std::map<std::string, bench::GeoMean> geomeans;
     for (const std::string &tmpl : templates) {
         for (const auto &[mode_name, mode] : modes) {
             auto sw = reporter.times.find(
@@ -159,28 +129,22 @@ main(int argc, char **argv)
                 continue;
             }
             double speedup = sw->second / up->second;
-            geomeanLog[mode_name] += std::log(speedup);
-            ++geomeanCount[mode_name];
-            if (!first)
-                json << ",\n";
-            first = false;
-            json << "    {\"template\": \"" << tmpl
-                 << "\", \"mode\": \"" << mode_name
-                 << "\", \"switch_ns\": " << sw->second
-                 << ", \"uops_ns\": " << up->second
-                 << ", \"speedup\": " << speedup << "}";
+            geomeans[mode_name].add(speedup);
+            report.addRow()
+                .field("template", tmpl)
+                .field("mode", mode_name)
+                .field("switch_ns", sw->second)
+                .field("uops_ns", up->second)
+                .field("speedup", speedup);
         }
     }
-    json << "\n  ]";
     std::cout << "\n";
-    for (const auto &[mode_name, log_sum] : geomeanLog) {
-        double geomean = std::exp(log_sum / geomeanCount[mode_name]);
-        json << ",\n  \"geomean_speedup_" << mode_name
-             << "\": " << geomean;
+    for (const auto &[mode_name, geomean] : geomeans) {
+        report.scalar("geomean_speedup_" + mode_name,
+                      geomean.value());
         std::cout << "geomean speedup (" << mode_name
-                  << " mode, uops vs switch): " << geomean << "x\n";
+                  << " mode, uops vs switch): " << geomean.value()
+                  << "x\n";
     }
-    json << "\n}\n";
-    std::cout << "wrote BENCH_interp.json\n";
-    return 0;
+    return report.finish();
 }

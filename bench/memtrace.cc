@@ -15,13 +15,11 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cmath>
-#include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "bench/harness.hh"
 #include "common/logging.hh"
 #include "gtpin/cache_sim.hh"
 #include "gtpin/gtpin.hh"
@@ -90,30 +88,6 @@ runTrace(benchmark::State &state, const std::string &tmpl,
     pin.detach();
 }
 
-/** Captures adjusted per-iteration real time for every finished run
- * on top of the normal console output. */
-class CaptureReporter : public benchmark::ConsoleReporter
-{
-  public:
-    void
-    ReportRuns(const std::vector<Run> &runs) override
-    {
-        for (const Run &run : runs) {
-            if (run.error_occurred)
-                continue;
-            std::string name = run.benchmark_name();
-            if (size_t pos = name.find("/min_time");
-                pos != std::string::npos) {
-                name.resize(pos);
-            }
-            times[name] = run.GetAdjustedRealTime();
-        }
-        ConsoleReporter::ReportRuns(runs);
-    }
-
-    std::map<std::string, double> times;
-};
-
 std::string
 caseName(const std::string &tmpl, const char *mode)
 {
@@ -147,41 +121,31 @@ main(int argc, char **argv)
         }
     }
 
-    CaptureReporter reporter;
+    bench::CaptureReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
 
     // Pair up the timings: speedup = callback time / batch time.
-    std::ofstream json("BENCH_memtrace.json");
-    json << "{\n  \"benchmarks\": [\n";
-    double log_sum = 0.0;
-    int count = 0;
-    bool first = true;
+    bench::BenchReport report("BENCH_memtrace.json");
+    bench::GeoMean geomean;
     for (const std::string &tmpl : benchTemplates) {
         auto cb = reporter.times.find(caseName(tmpl, "callback"));
         auto bt = reporter.times.find(caseName(tmpl, "batch"));
         if (cb == reporter.times.end() || bt == reporter.times.end())
             continue;
         double speedup = cb->second / bt->second;
-        log_sum += std::log(speedup);
-        ++count;
-        if (!first)
-            json << ",\n";
-        first = false;
-        json << "    {\"template\": \"" << tmpl
-             << "\", \"callback_ns\": " << cb->second
-             << ", \"batch_ns\": " << bt->second
-             << ", \"speedup\": " << speedup << "}";
+        geomean.add(speedup);
+        report.addRow()
+            .field("template", tmpl)
+            .field("callback_ns", cb->second)
+            .field("batch_ns", bt->second)
+            .field("speedup", speedup);
     }
-    json << "\n  ]";
     std::cout << "\n";
-    if (count > 0) {
-        double geomean = std::exp(log_sum / count);
-        json << ",\n  \"geomean_speedup\": " << geomean;
+    if (geomean.count() > 0) {
+        report.scalar("geomean_speedup", geomean.value());
         std::cout << "geomean speedup (batch vs callback delivery): "
-                  << geomean << "x\n";
+                  << geomean.value() << "x\n";
     }
-    json << "\n}\n";
-    std::cout << "wrote BENCH_memtrace.json\n";
-    return 0;
+    return report.finish();
 }

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Multi-tenant profiling-service benchmark: aggregate dispatch
+ * throughput and selection-refresh latency at 1, 4, and 16 tenants.
+ *
+ * Each scale point opens T tenants and submits the same three small
+ * recorded applications to every one of them, then drains. The first
+ * tenant's submissions replay for real; every later identical
+ * recording is served from the content-addressed replay-artifact
+ * cache, so on a single-core host aggregate throughput scales with
+ * tenant count through sharing, not thread parallelism — the gate
+ * enforces at least 3x dispatches/sec at 16 tenants vs 1.
+ *
+ * After draining, refreshAll() is timed twice: once doing the real
+ * incremental re-cluster, once answered entirely from the memoized
+ * selections. The benchmark also re-derives every checked session's
+ * selections with a one-shot selectSubset() over a sealed database
+ * and asserts bitwise identity — selected intervals, ratios, and
+ * projected SPI — pinning the service's central contract in the same
+ * binary that reports its speed.
+ *
+ *     cd /path/to/repo && build/bench/service_throughput
+ *
+ * Pass --smoke for the {1,4}-tenant CI variant (the scaling gate
+ * needs the 16-tenant point and is skipped). Results land in
+ * BENCH_service.json.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "serve/service.hh"
+
+using namespace gt;
+
+namespace
+{
+
+// The smallest applications of the suite: replay cost stays bounded
+// at 16 tenants while the dispatch counts are still large enough to
+// exercise every interval scheme.
+const std::vector<std::string> benchApps = {
+    "cb-gaussian-image",
+    "cb-gaussian-buffer",
+    "cb-histogram-image",
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+void
+assertSameSelection(const core::SubsetSelection &got,
+                    const core::SubsetSelection &want,
+                    const std::string &where)
+{
+    GT_ASSERT(got.intervals.size() == want.intervals.size(), where,
+              ": interval division diverges from one-shot oracle");
+    for (size_t i = 0; i < got.intervals.size(); ++i) {
+        const core::Interval &a = got.intervals[i];
+        const core::Interval &b = want.intervals[i];
+        GT_ASSERT(a.firstDispatch == b.firstDispatch &&
+                      a.lastDispatch == b.lastDispatch &&
+                      a.instrs == b.instrs && a.seconds == b.seconds,
+                  where, ": interval ", i, " diverges");
+    }
+    GT_ASSERT(got.selected == want.selected, where,
+              ": selected representatives diverge");
+    GT_ASSERT(got.ratios.size() == want.ratios.size(), where,
+              ": ratio count diverges");
+    for (size_t i = 0; i < got.ratios.size(); ++i) {
+        GT_ASSERT(got.ratios[i] == want.ratios[i], where,
+                  ": ratio ", i, " diverges");
+    }
+    GT_ASSERT(got.selectedInstrs == want.selectedInstrs &&
+                  got.totalInstrs == want.totalInstrs,
+              where, ": instruction totals diverge");
+}
+
+/** One-shot oracle: seal the session's database and re-derive every
+ * configured selection with batch selectSubset(); all artifacts must
+ * match the incrementally refreshed state bit for bit. */
+void
+verifySession(serve::WorkloadSession &session,
+              const serve::ServiceConfig &cfg,
+              const std::string &where)
+{
+    core::TraceDatabase db = session.sealDatabase();
+    for (size_t c = 0; c < cfg.selections.size(); ++c) {
+        const serve::SelectionConfig &sc = cfg.selections[c];
+        core::SubsetSelection got = session.selection(c);
+        core::SubsetSelection want =
+            core::selectSubset(db, sc.scheme, sc.feature,
+                               cfg.cluster, cfg.targetInstrs);
+        assertSameSelection(got, want, where);
+        GT_ASSERT(core::projectedSpi(db, got) ==
+                      core::projectedSpi(db, want),
+                  where, ": projected SPI diverges");
+    }
+}
+
+struct ScaleResult
+{
+    unsigned tenants = 0;
+    uint64_t workloads = 0, dispatches = 0;
+    uint64_t replays = 0, artifactHits = 0;
+    double submitS = 0.0, refreshS = 0.0, refreshMemoS = 0.0;
+    serve::ServiceStats stats;
+
+    double throughput() const { return (double)dispatches / submitS; }
+};
+
+ScaleResult
+runScale(unsigned tenant_count,
+         const std::vector<cfl::Recording> &recordings)
+{
+    serve::ServiceConfig cfg;
+    serve::ProfilingService service(cfg);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<serve::ProfilingService::TenantId> ids;
+    for (unsigned t = 0; t < tenant_count; ++t) {
+        ids.push_back(
+            service.openTenant("tenant-" + std::to_string(t)));
+        for (size_t w = 0; w < recordings.size(); ++w)
+            service.submit(ids.back(), benchApps[w], recordings[w]);
+    }
+    service.drain();
+
+    ScaleResult r;
+    r.tenants = tenant_count;
+    r.submitS = secondsSince(t0);
+    r.workloads = tenant_count * recordings.size();
+    for (unsigned t = 0; t < tenant_count; ++t) {
+        for (size_t w = 0; w < recordings.size(); ++w) {
+            r.dispatches +=
+                service.session(ids[t], w).numDispatches();
+        }
+    }
+
+    // First refresh does the incremental re-cluster; the second is
+    // answered entirely from the memoized selections.
+    t0 = std::chrono::steady_clock::now();
+    service.refreshAll();
+    r.refreshS = secondsSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    service.refreshAll();
+    r.refreshMemoS = secondsSince(t0);
+
+    // Oracle differential on the first and last tenant (every tenant
+    // was fed the identical stream; the service tests cover the
+    // exhaustive per-session sweep).
+    for (unsigned t : {0u, tenant_count - 1}) {
+        for (size_t w = 0; w < recordings.size(); ++w) {
+            verifySession(service.session(ids[t], w), cfg,
+                          benchApps[w] + "@tenant" +
+                              std::to_string(t));
+        }
+        if (tenant_count == 1)
+            break;
+    }
+
+    r.stats = service.stats();
+    r.replays = r.stats.replays;
+    r.artifactHits = r.stats.artifactHits;
+    return r;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+    const bool smoke = bench::stripSmokeFlag(argc, argv);
+
+    // Recordings come from the cached profiled apps, so the replayed
+    // streams carry exactly the dispatch population the selections
+    // describe.
+    std::vector<cfl::Recording> recordings;
+    for (const std::string &name : benchApps)
+        recordings.push_back(bench::profiledApp(name).recording);
+
+    std::vector<unsigned> scales{1, 4};
+    if (!smoke)
+        scales.push_back(16);
+
+    std::vector<ScaleResult> results;
+    for (unsigned tenants : scales) {
+        results.push_back(runScale(tenants, recordings));
+        const ScaleResult &r = results.back();
+        std::cout << r.tenants << " tenant"
+                  << (r.tenants == 1 ? "" : "s") << ": "
+                  << r.dispatches << " dispatches in "
+                  << fixed(r.submitS, 3) << " s  ("
+                  << fixed(r.throughput() / 1000.0, 1)
+                  << "k dispatches/s; " << r.replays
+                  << " replays, " << r.artifactHits
+                  << " artifact hits)\n"
+                  << "  refresh " << fixed(r.refreshS * 1000.0, 1)
+                  << " ms, memoized "
+                  << fixed(r.refreshMemoS * 1000.0, 1)
+                  << " ms; selections bitwise == one-shot oracle\n";
+    }
+
+    const double scaling =
+        results.back().throughput() / results.front().throughput();
+    std::cout << "\nthroughput scaling (" << results.back().tenants
+              << " tenants vs 1): " << fixed(scaling, 1) << "x\n";
+
+    bench::BenchReport report("BENCH_service.json");
+    for (const ScaleResult &r : results) {
+        report.addRow()
+            .field("tenants", (uint64_t)r.tenants)
+            .field("workloads", r.workloads)
+            .field("dispatches", r.dispatches)
+            .field("replays", r.replays)
+            .field("artifact_hits", r.artifactHits)
+            .field("submit_s", r.submitS)
+            .field("dispatches_per_s", r.throughput())
+            .field("refresh_s", r.refreshS)
+            .field("refresh_memo_s", r.refreshMemoS);
+    }
+    const serve::ServiceStats &top = results.back().stats;
+    report.scalar("plan_cache_builds", top.planCache.builds);
+    report.scalar("plan_cache_hits", top.planCache.hits);
+    report.scalar("sessions_reclustered", top.sessions.reclustered);
+    report.scalar("sessions_memoized",
+                  top.sessions.reusedSelections);
+    report.scalar("throughput_scaling", scaling);
+    report.gate("scaling_gate", smoke || scaling >= 3.0,
+                "multi-tenant throughput scaling regressed below 3x: " +
+                    std::to_string(scaling));
+    return report.finish();
+}

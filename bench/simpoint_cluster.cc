@@ -22,13 +22,11 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cmath>
-#include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "bench/harness.hh"
 #include "common/logging.hh"
 #include "core/explorer.hh"
 #include "core/feature_engine.hh"
@@ -132,28 +130,6 @@ runExplore(benchmark::State &state, BenchApp &b,
     }
 }
 
-class CaptureReporter : public benchmark::ConsoleReporter
-{
-  public:
-    void
-    ReportRuns(const std::vector<Run> &runs) override
-    {
-        for (const Run &run : runs) {
-            if (run.error_occurred)
-                continue;
-            std::string name = run.benchmark_name();
-            if (size_t pos = name.find("/min_time");
-                pos != std::string::npos) {
-                name.resize(pos);
-            }
-            times[name] = run.GetAdjustedRealTime();
-        }
-        ConsoleReporter::ReportRuns(runs);
-    }
-
-    std::map<std::string, double> times;
-};
-
 std::string
 caseName(const char *what, const std::string &app,
          simpoint::KMeansBackend backend)
@@ -195,21 +171,16 @@ main(int argc, char **argv)
         }
     }
 
-    CaptureReporter reporter;
+    bench::CaptureReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
 
-    std::ofstream json("BENCH_kmeans.json");
+    bench::BenchReport report("BENCH_kmeans.json");
     std::cout << "\n";
     const char *sections[] = {"cluster", "explore"};
-    json << "{";
     for (const char *what : sections) {
         bool explore = what[0] == 'e';
-        json << (explore ? ",\n  \"" : "\n  \"") << what
-             << "\": [\n";
-        double log_sum = 0.0;
-        int count = 0;
-        bool first = true;
+        bench::GeoMean geomean;
         for (const BenchApp &b : apps()) {
             auto ll = reporter.times.find(caseName(
                 what, b.name, simpoint::KMeansBackend::Lloyd));
@@ -220,32 +191,24 @@ main(int argc, char **argv)
                 continue;
             }
             double speedup = ll->second / pr->second;
-            log_sum += std::log(speedup);
-            ++count;
-            if (!first)
-                json << ",\n";
-            first = false;
-            json << "    {\"app\": \"" << b.name
-                 << "\", \"lloyd_ns\": " << ll->second
-                 << ", \"pruned_ns\": " << pr->second
-                 << ", \"speedup\": " << speedup
-                 << ", \"prune_rate\": "
-                 << (explore ? b.explorePruneRate
-                             : b.clusterPruneRate)
-                 << "}";
+            geomean.add(speedup);
+            report.addRow(what)
+                .field("app", b.name)
+                .field("lloyd_ns", ll->second)
+                .field("pruned_ns", pr->second)
+                .field("speedup", speedup)
+                .field("prune_rate", explore ? b.explorePruneRate
+                                             : b.clusterPruneRate);
         }
-        json << "\n  ]";
-        if (count > 0) {
-            double geomean = std::exp(log_sum / count);
-            json << ",\n  \"geomean_speedup_" << what
-                 << "\": " << geomean;
+        if (geomean.count() > 0) {
+            report.scalar(std::string("geomean_speedup_") + what,
+                          geomean.value());
             std::cout << "geomean speedup ("
                       << (explore ? "end-to-end exploreConfigs"
                                   : "clusterPoints BIC sweep")
-                      << ", pruned vs lloyd): " << geomean << "x\n";
+                      << ", pruned vs lloyd): " << geomean.value()
+                      << "x\n";
         }
     }
-    json << "\n}\n";
-    std::cout << "wrote BENCH_kmeans.json\n";
-    return 0;
+    return report.finish();
 }

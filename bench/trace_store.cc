@@ -24,10 +24,9 @@
  */
 
 #include <chrono>
-#include <cstring>
-#include <fstream>
 #include <iostream>
 
+#include "bench/harness.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
@@ -175,8 +174,7 @@ int
 main(int argc, char **argv)
 {
     setLogQuiet(true);
-    const bool smoke =
-        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const bool smoke = bench::stripSmokeFlag(argc, argv);
     const uint64_t n = smoke ? 40000 : 250000;
 
     Inputs in = makeInputs(n);
@@ -236,28 +234,22 @@ main(int argc, char **argv)
               << "build: mem " << fixed(mem_build_s, 3)
               << " s, columnar " << fixed(col_build_s, 3) << " s\n";
 
-    GT_ASSERT(shrink >= 5.0,
-              "columnar resident-memory reduction regressed below "
-              "5x: ", shrink);
-    GT_ASSERT(ratio <= 1.5,
-              "columnar query throughput regressed beyond 1.5x of "
-              "the mem oracle: ", ratio);
-
-    std::ofstream json("BENCH_tracedb.json");
-    json << "{\n"
-         << "  \"dispatches\": " << n << ",\n"
-         << "  \"mem_resident_bytes\": " << fm.residentBytes
-         << ",\n"
-         << "  \"columnar_resident_bytes\": " << fc.residentBytes
-         << ",\n"
-         << "  \"columnar_file_bytes\": " << fc.fileBytes << ",\n"
-         << "  \"resident_shrink\": " << shrink << ",\n"
-         << "  \"mem_query_s\": " << mem_query_s << ",\n"
-         << "  \"columnar_query_s\": " << col_query_s << ",\n"
-         << "  \"query_ratio\": " << ratio << ",\n"
-         << "  \"mem_build_s\": " << mem_build_s << ",\n"
-         << "  \"columnar_build_s\": " << col_build_s << "\n"
-         << "}\n";
-    std::cout << "wrote BENCH_tracedb.json\n";
-    return 0;
+    bench::BenchReport report("BENCH_tracedb.json");
+    report.scalar("dispatches", n);
+    report.scalar("mem_resident_bytes", fm.residentBytes);
+    report.scalar("columnar_resident_bytes", fc.residentBytes);
+    report.scalar("columnar_file_bytes", fc.fileBytes);
+    report.scalar("resident_shrink", shrink);
+    report.scalar("mem_query_s", mem_query_s);
+    report.scalar("columnar_query_s", col_query_s);
+    report.scalar("query_ratio", ratio);
+    report.scalar("mem_build_s", mem_build_s);
+    report.scalar("columnar_build_s", col_build_s);
+    report.gate("shrink_gate", shrink >= 5.0,
+                "columnar resident-memory reduction regressed below "
+                "5x: " + std::to_string(shrink));
+    report.gate("query_gate", ratio <= 1.5,
+                "columnar query throughput regressed beyond 1.5x of "
+                "the mem oracle: " + std::to_string(ratio));
+    return report.finish();
 }

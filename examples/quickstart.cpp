@@ -12,13 +12,19 @@
  *        (default cb-throughput-juliaset; "all" profiles the whole
  *        25-app suite concurrently via profileSuite() — thread count
  *        honors GT_THREADS)
+ *
+ * With GT_SERVE=N set, the workload is instead recorded once and
+ * submitted to N tenants of the streaming profiling service; the
+ * report shows the shared-cache and incremental-refresh statistics.
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "common/table.hh"
 #include "core/pipeline.hh"
+#include "serve/service.hh"
 
 using namespace gt;
 
@@ -48,6 +54,72 @@ profileWholeSuite()
                       fixed(app.db.totalSeconds(), 4) + " s"});
     }
     table.print(std::cout, "Suite profile (one native run per app)");
+    return 0;
+}
+
+/** GT_SERVE=N: submit @p app's recording to N tenants of the
+ * streaming profiling service and report the shared-cache and
+ * incremental-selection statistics. */
+int
+serveDemo(unsigned tenants, const workloads::Workload &app)
+{
+    std::cout << "Recording " << app.info().name
+              << " and submitting it to " << tenants << " tenant"
+              << (tenants == 1 ? "" : "s")
+              << " of the profiling service...\n\n";
+    core::ProfiledApp profiled = core::profileApp(app);
+
+    serve::ProfilingService service;
+    std::vector<serve::ProfilingService::TenantId> ids;
+    for (unsigned t = 0; t < tenants; ++t) {
+        ids.push_back(
+            service.openTenant("tenant-" + std::to_string(t)));
+        service.submit(ids.back(), profiled.name,
+                       profiled.recording);
+    }
+    service.drain();
+    service.refreshAll();
+
+    serve::ServiceStats st = service.stats();
+    TextTable sharing({"metric", "value"});
+    sharing.addRow({"tenants", std::to_string(st.tenants)});
+    sharing.addRow({"workload sessions",
+                    std::to_string(st.workloads)});
+    sharing.addRow({"recordings replayed",
+                    std::to_string(st.replays)});
+    sharing.addRow({"replay-artifact hits",
+                    std::to_string(st.artifactHits)});
+    sharing.addRow({"kernel plans built",
+                    std::to_string(st.planCache.builds)});
+    sharing.addRow({"kernel plan hits",
+                    std::to_string(st.planCache.hits)});
+    sharing.addRow({"dispatches fed",
+                    std::to_string(st.sessions.dispatches)});
+    sharing.addRow({"configs re-clustered",
+                    std::to_string(st.sessions.reclustered)});
+    sharing.addRow({"selections memoized",
+                    std::to_string(st.sessions.reusedSelections)});
+    sharing.print(std::cout,
+                  "Cross-tenant sharing (content-addressed)");
+    std::cout << "\n";
+
+    // Every tenant's selections are bitwise identical; show the
+    // first one's.
+    serve::WorkloadSession &session = service.session(ids[0], 0);
+    const serve::ServiceConfig &cfg = service.config();
+    TextTable sel({"scheme", "intervals", "selected", "sim fraction",
+                   "speedup"});
+    for (size_t c = 0; c < cfg.selections.size(); ++c) {
+        core::SubsetSelection s = session.selection(c);
+        sel.addRow({core::intervalSchemeName(s.scheme),
+                    std::to_string(s.intervals.size()),
+                    std::to_string(s.selected.size()),
+                    pct(s.selectionFraction()),
+                    fixed(s.speedup(), 1) + "x"});
+    }
+    sel.print(std::cout,
+              "Incrementally refreshed selections (tenant-0, "
+              "feature BB)");
     return 0;
 }
 
@@ -120,8 +192,18 @@ printUsage(std::ostream &os)
           "                         reference form. Unknown values\n"
           "                         are rejected at startup. Results\n"
           "                         are bitwise identical.\n"
-          "  GT_THREADS=N           Worker threads for \"all\"\n"
-          "                         (default: hardware concurrency).\n";
+          "  GT_SERVE=N             Instead of one batch profile,\n"
+          "                         record the workload and submit it\n"
+          "                         to N tenants of the streaming\n"
+          "                         profiling service: replays share\n"
+          "                         kernel plans and replay artifacts\n"
+          "                         by content hash, and selections\n"
+          "                         are refreshed incrementally —\n"
+          "                         bitwise identical to a one-shot\n"
+          "                         batch selection.\n"
+          "  GT_THREADS=N           Worker threads for \"all\" and for\n"
+          "                         service replays (default:\n"
+          "                         hardware concurrency).\n";
 }
 
 } // anonymous namespace
@@ -144,6 +226,16 @@ main(int argc, char **argv)
         for (const auto *w : workloads::workloadSuite())
             std::cerr << "  " << w->info().name << "\n";
         return 1;
+    }
+
+    if (const char *serve_env = std::getenv("GT_SERVE")) {
+        int tenants = std::atoi(serve_env);
+        if (tenants <= 0) {
+            std::cerr << "GT_SERVE must be a positive tenant "
+                         "count, got '" << serve_env << "'\n";
+            return 1;
+        }
+        return serveDemo((unsigned)tenants, *app);
     }
 
     std::cout << "Profiling " << name << " ("

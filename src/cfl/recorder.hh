@@ -53,12 +53,59 @@ class Recorder : public ocl::ApiObserver
 };
 
 /**
+ * Content identity of a recording: an FNV-1a fold over every field
+ * of every call — ids, indices, kernel names, argument vectors,
+ * buffer payloads, and kernel sources. Two recordings hash equal
+ * exactly when a replay of either issues the identical call stream,
+ * which is what lets the profiling service share replay artifacts
+ * (profiles, timings, sync epochs) across tenants that submit the
+ * same workload.
+ */
+uint64_t recordingContentHash(const Recording &recording);
+
+/**
  * Replay @p recording against @p runtime, re-issuing every call in
  * order. The runtime must be fresh (no prior handles created);
  * handle values are deterministic so the recorded ids resolve
  * identically. Throws FatalError on a malformed recording.
  */
 void replay(const Recording &recording, ocl::ClRuntime &runtime);
+
+/**
+ * Cursor-driven replay: the same call-for-call re-issue as replay()
+ * — replay() is implemented on top of this class — but the caller
+ * controls the pace, stopping after every kernel dispatch to harvest
+ * that dispatch's profile and timing from its tools before the next
+ * call is issued. This is the streaming service's engine: intervals
+ * and feature columns build incrementally between steps while the
+ * issued stream stays byte-identical to a batch replay.
+ */
+class StreamingReplay
+{
+  public:
+    StreamingReplay(const Recording &recording,
+                    ocl::ClRuntime &runtime);
+
+    /**
+     * Issue calls up to and including the next kernel dispatch.
+     * @return true when a dispatch was issued; false when the stream
+     * ended first (every remaining call has then been issued).
+     */
+    bool nextDispatch();
+
+    /** Issue every remaining call. */
+    void drain();
+
+    /** Calls issued so far. */
+    size_t position() const { return cursor; }
+
+    bool done() const { return cursor == rec.calls.size(); }
+
+  private:
+    const Recording &rec;
+    ocl::ClRuntime &rt;
+    size_t cursor = 0;
+};
 
 } // namespace gt::cfl
 

@@ -41,29 +41,37 @@ featureBackendName(FeatureBackend backend)
 
 DispatchFeatureCache::DispatchFeatureCache(const TraceDatabase &db)
 {
+    for (uint64_t d = 0; d < db.numDispatches(); ++d)
+        appendDispatch(db.profileAt(d));
+    refreshColumns();
+}
+
+void
+DispatchFeatureCache::appendDispatch(
+    const gtpin::DispatchProfile &p)
+{
     using detail::mixFeatureKey;
     using detail::tagBase;
     using detail::tagRead;
     using detail::tagReadWrite;
     using detail::tagWrite;
 
-    numDispatches = db.numDispatches();
+    p.checkShape();
 
-    // Interim column ids are assigned in first-encounter order; a
-    // final remap below renumbers them so ascending column id means
-    // ascending key. Hash-colliding keys (however unlikely at 64
-    // bits) intern to one column, matching the map oracle's merge of
-    // colliding contributions.
-    std::unordered_map<uint64_t, uint32_t> idOf;
-    idOf.reserve(1024);
+    // Interim column ids are assigned in first-encounter order and
+    // never change, so already-lowered streams stay valid as more
+    // dispatches arrive; refreshColumns() re-derives the ascending-
+    // key ranks queries read through. Hash-colliding keys (however
+    // unlikely at 64 bits) intern to one column, matching the map
+    // oracle's merge of colliding contributions.
     auto intern = [&](uint64_t key) {
-        auto [it, inserted] =
-            idOf.emplace(key, (uint32_t)idOf.size());
+        auto [it, inserted] = idOf.emplace(key, (uint32_t)idOf.size());
+        if (inserted) {
+            internKeys.push_back(key);
+            ranksStale = true;
+        }
         return it->second;
     };
-
-    for (Stream &stream : streams)
-        stream.offsets.assign(1, 0);
 
     auto push = [&](Stream &stream, uint64_t key, double value) {
         // Zero contributions are dropped exactly as the oracle's
@@ -74,74 +82,72 @@ DispatchFeatureCache::DispatchFeatureCache(const TraceDatabase &db)
         stream.values.push_back(value);
     };
 
-    for (uint64_t d = 0; d < numDispatches; ++d) {
-        const gtpin::DispatchProfile &p = db.profileAt(d);
-        p.checkShape();
+    double instrs = (double)p.instrs;
+    push(streams[knBase],
+         mixFeatureKey(p.kernelId, 0, 0, tagBase), instrs);
+    push(streams[knArgsBase],
+         mixFeatureKey(p.kernelId, p.argsHash, 0, tagBase),
+         instrs);
+    push(streams[knGwsBase],
+         mixFeatureKey(p.kernelId, 0, p.globalWorkSize, tagBase),
+         instrs);
+    push(streams[knArgsGwsBase],
+         mixFeatureKey(p.kernelId, p.argsHash, p.globalWorkSize,
+                       tagBase),
+         instrs);
+    push(streams[knRw],
+         mixFeatureKey(p.kernelId, 0, 0, tagRead),
+         (double)p.bytesRead);
+    push(streams[knRw],
+         mixFeatureKey(p.kernelId, 0, 0, tagWrite),
+         (double)p.bytesWritten);
 
-        double instrs = (double)p.instrs;
-        push(streams[knBase],
-             mixFeatureKey(p.kernelId, 0, 0, tagBase), instrs);
-        push(streams[knArgsBase],
-             mixFeatureKey(p.kernelId, p.argsHash, 0, tagBase),
-             instrs);
-        push(streams[knGwsBase],
-             mixFeatureKey(p.kernelId, 0, p.globalWorkSize, tagBase),
-             instrs);
-        push(streams[knArgsGwsBase],
-             mixFeatureKey(p.kernelId, p.argsHash, p.globalWorkSize,
-                           tagBase),
-             instrs);
-        push(streams[knRw],
-             mixFeatureKey(p.kernelId, 0, 0, tagRead),
-             (double)p.bytesRead);
-        push(streams[knRw],
-             mixFeatureKey(p.kernelId, 0, 0, tagWrite),
-             (double)p.bytesWritten);
-
-        for (size_t b = 0; b < p.blockCounts.size(); ++b) {
-            uint64_t count = p.blockCounts[b];
-            if (count == 0)
-                continue;
-            double weighted = (double)count * p.blockLens[b];
-            push(streams[bbBase],
-                 mixFeatureKey(p.kernelId, b, 0, tagBase), weighted);
-            double read = (double)count * p.blockReadBytes[b];
-            double written = (double)count * p.blockWriteBytes[b];
-            push(streams[bbRead],
-                 mixFeatureKey(p.kernelId, b, 0, tagRead), read);
-            push(streams[bbWrite],
-                 mixFeatureKey(p.kernelId, b, 0, tagWrite), written);
-            push(streams[bbReadWrite],
-                 mixFeatureKey(p.kernelId, b, 0, tagReadWrite),
-                 read + written);
-        }
-
-        for (Stream &stream : streams)
-            stream.offsets.push_back(stream.cols.size());
+    for (size_t b = 0; b < p.blockCounts.size(); ++b) {
+        uint64_t count = p.blockCounts[b];
+        if (count == 0)
+            continue;
+        double weighted = (double)count * p.blockLens[b];
+        push(streams[bbBase],
+             mixFeatureKey(p.kernelId, b, 0, tagBase), weighted);
+        double read = (double)count * p.blockReadBytes[b];
+        double written = (double)count * p.blockWriteBytes[b];
+        push(streams[bbRead],
+             mixFeatureKey(p.kernelId, b, 0, tagRead), read);
+        push(streams[bbWrite],
+             mixFeatureKey(p.kernelId, b, 0, tagWrite), written);
+        push(streams[bbReadWrite],
+             mixFeatureKey(p.kernelId, b, 0, tagReadWrite),
+             read + written);
     }
 
-    // Renumber columns so that column order is key order.
-    colKeys.resize(idOf.size());
-    for (const auto &[key, id] : idOf)
-        colKeys[id] = key;
-    std::vector<uint32_t> order((uint32_t)colKeys.size());
+    for (Stream &stream : streams)
+        stream.offsets.push_back(stream.cols.size());
+    ++numDispatches;
+}
+
+void
+DispatchFeatureCache::refreshColumns()
+{
+    if (!ranksStale && colKeys.size() == internKeys.size())
+        return;
+
+    // Rank columns so that ascending rank order is ascending key
+    // order — the map oracle's iteration order. Interned keys are
+    // distinct, so the order (and thus every rank) is deterministic.
+    std::vector<uint32_t> order((uint32_t)internKeys.size());
     for (uint32_t i = 0; i < order.size(); ++i)
         order[i] = i;
     std::sort(order.begin(), order.end(),
               [&](uint32_t a, uint32_t b) {
-                  return colKeys[a] < colKeys[b];
+                  return internKeys[a] < internKeys[b];
               });
-    std::vector<uint32_t> remap(order.size());
-    std::vector<uint64_t> sorted_keys(order.size());
+    rankOf.resize(order.size());
+    colKeys.resize(order.size());
     for (uint32_t rank = 0; rank < order.size(); ++rank) {
-        remap[order[rank]] = rank;
-        sorted_keys[rank] = colKeys[order[rank]];
+        rankOf[order[rank]] = rank;
+        colKeys[rank] = internKeys[order[rank]];
     }
-    colKeys = std::move(sorted_keys);
-    for (Stream &stream : streams) {
-        for (uint32_t &col : stream.cols)
-            col = remap[col];
-    }
+    ranksStale = false;
 }
 
 std::array<DispatchFeatureCache::StreamId, 3>
@@ -190,6 +196,9 @@ DispatchFeatureCache::accumulate(const Interval &interval,
 {
     GT_ASSERT(interval.lastDispatch < numDispatches,
               "interval out of range");
+    GT_ASSERT(!ranksStale,
+              "query on a stale cache: call refreshColumns() after "
+              "appending dispatches");
 
     if (scratch.acc.size() != colKeys.size()) {
         scratch.acc.assign(colKeys.size(), 0.0);
@@ -216,7 +225,7 @@ DispatchFeatureCache::accumulate(const Interval &interval,
             const Stream &stream = streams[list[(size_t)s]];
             for (uint64_t i = stream.offsets[d];
                  i < stream.offsets[d + 1]; ++i) {
-                uint32_t col = stream.cols[i];
+                uint32_t col = rankOf[stream.cols[i]];
                 if (scratch.epoch[col] != scratch.generation) {
                     scratch.epoch[col] = scratch.generation;
                     scratch.acc[col] = stream.values[i];

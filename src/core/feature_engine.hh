@@ -42,6 +42,7 @@
 
 #include <array>
 #include <memory>
+#include <unordered_map>
 
 #include "core/simpoint.hh"
 
@@ -69,7 +70,38 @@ const char *featureBackendName(FeatureBackend backend);
 class DispatchFeatureCache
 {
   public:
+    /** Empty cache for streaming construction: appendDispatch() one
+     * dispatch at a time, refreshColumns() before querying. */
+    DispatchFeatureCache() = default;
+
+    /** Batch construction: appends every dispatch of @p db, then
+     * refreshes — one code path with the streaming form, so the two
+     * are bitwise identical by construction. */
     explicit DispatchFeatureCache(const TraceDatabase &db);
+
+    /**
+     * Lower one dispatch profile into the contribution streams.
+     * Dispatches must arrive in order (dispatch d is the d-th call).
+     * Interning assigns interim column ids in first-encounter order;
+     * queries read them through a rank indirection refreshed by
+     * refreshColumns(), so appending never rewrites lowered streams.
+     */
+    void appendDispatch(const gtpin::DispatchProfile &profile);
+
+    /**
+     * Recompute the ascending-key column order after a batch of
+     * appends. Cheap no-op when no new key was interned. Queries
+     * (extract / projectInto) require fresh ranks; the service calls
+     * this once per refresh, not per dispatch.
+     *
+     * Ranks shift as the key universe grows, but an interval's
+     * extracted vector and projected point depend only on its own
+     * dispatches' *keys*, whose projection rows are pure per-key
+     * functions — so points computed before a refresh stay bitwise
+     * valid after it. That invariant is what lets the incremental
+     * selection path cache prefix points across refreshes.
+     */
+    void refreshColumns();
 
     /** All distinct feature keys of the workload, ascending. */
     const std::vector<uint64_t> &uniqueKeys() const { return colKeys; }
@@ -126,12 +158,13 @@ class DispatchFeatureCache
         numStreams,
     };
 
-    /** One contribution stream: CSR over dispatches. Column ids
-     * index colKeys, whose ascending order makes ascending column
-     * order equal ascending key order. */
+    /** One contribution stream: CSR over dispatches. Column ids are
+     * interim intern ids (first-encounter order, append-stable);
+     * rankOf maps them to ascending-key ranks at query time, so
+     * ascending rank order equals ascending key order. */
     struct Stream
     {
-        std::vector<uint64_t> offsets; //!< numDispatches + 1
+        std::vector<uint64_t> offsets = {0}; //!< numDispatches + 1
         std::vector<uint32_t> cols;
         std::vector<double> values;
     };
@@ -148,8 +181,12 @@ class DispatchFeatureCache
                     Scratch &scratch) const;
 
     std::array<Stream, numStreams> streams;
-    std::vector<uint64_t> colKeys; //!< ascending
+    std::unordered_map<uint64_t, uint32_t> idOf; //!< key -> interim id
+    std::vector<uint64_t> internKeys; //!< key per interim id
+    std::vector<uint32_t> rankOf;     //!< interim id -> key rank
+    std::vector<uint64_t> colKeys;    //!< ascending
     uint64_t numDispatches = 0;
+    bool ranksStale = false;
 };
 
 /**

@@ -38,15 +38,34 @@ selectSubset(const TraceDatabase &db, IntervalScheme scheme,
     GT_ASSERT(&engine->database() == &db,
               "feature engine built over a different database");
 
-    SubsetSelection sel;
-    sel.scheme = scheme;
-    sel.feature = feature;
-    sel.intervals = buildIntervals(db, scheme, target_instrs);
+    std::vector<Interval> intervals =
+        buildIntervals(db, scheme, target_instrs);
 
     // The engine projects straight off its columns; the clusterer
     // never sees the sparse vectors.
     std::vector<simpoint::Point> points =
-        engine->projectAll(sel.intervals, feature);
+        engine->projectAll(intervals, feature);
+
+    return selectFromProjected(scheme, feature, std::move(intervals),
+                               points, db.totalInstrs(), options);
+}
+
+SubsetSelection
+selectFromProjected(IntervalScheme scheme, FeatureKind feature,
+                    std::vector<Interval> intervals,
+                    const std::vector<simpoint::Point> &points,
+                    uint64_t total_instrs,
+                    const simpoint::ClusterOptions &options)
+{
+    GT_ASSERT(intervals.size() == points.size(),
+              "one projected point per interval, got ",
+              points.size(), " points for ", intervals.size(),
+              " intervals");
+
+    SubsetSelection sel;
+    sel.scheme = scheme;
+    sel.feature = feature;
+    sel.intervals = std::move(intervals);
 
     std::vector<double> weights;
     weights.reserve(sel.intervals.size());
@@ -59,7 +78,7 @@ selectSubset(const TraceDatabase &db, IntervalScheme scheme,
     sel.selected = clustering.representative;
     sel.ratios = clustering.weight;
     sel.clusterStats = clustering.stats;
-    sel.totalInstrs = db.totalInstrs();
+    sel.totalInstrs = total_instrs;
     for (uint64_t idx : sel.selected)
         sel.selectedInstrs += sel.intervals[idx].instrs;
     return sel;

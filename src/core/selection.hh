@@ -82,6 +82,27 @@ selectSubset(const TraceDatabase &db, IntervalScheme scheme,
              const FeatureEngine *engine = nullptr);
 
 /**
+ * The selection tail shared by selectSubset() and the streaming
+ * service's incremental refresh: cluster already-projected interval
+ * @p points (one per interval, in interval order) and assemble the
+ * SubsetSelection. Having exactly one implementation of this tail is
+ * what makes an incremental refresh — intervals and points built as
+ * dispatches arrived — bitwise identical to a one-shot selectSubset()
+ * over the final database: both paths feed the same points, weights,
+ * and options through the same code.
+ *
+ * @param total_instrs whole-program instruction total the selection
+ *        fraction is measured against (db.totalInstrs() in the batch
+ *        path).
+ */
+SubsetSelection
+selectFromProjected(IntervalScheme scheme, FeatureKind feature,
+                    std::vector<Interval> intervals,
+                    const std::vector<simpoint::Point> &points,
+                    uint64_t total_instrs,
+                    const simpoint::ClusterOptions &options = {});
+
+/**
  * Projected whole-program SPI of @p selection evaluated on @p db —
  * which may be the profiling trial itself (self-validation) or a
  * replayed trial on other hardware (cross validation). @p db must

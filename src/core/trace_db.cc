@@ -56,66 +56,90 @@ TraceDatabase::build(std::vector<gtpin::DispatchProfile> profiles,
               "GT-Pin saw ", profiles.size(),
               " dispatches but CoFluent timed ", timings.size());
 
-    // Walk the host call stream to assign each dispatch (by seq) the
-    // synchronization epoch it falls in: the epoch counter advances
+    Builder builder;
+    for (const auto &call : call_stream)
+        builder.observeCall(call);
+    for (size_t i = 0; i < profiles.size(); ++i)
+        builder.append(std::move(profiles[i]), timings[i]);
+    return std::move(builder).seal(backend, block_size);
+}
+
+void
+TraceDatabase::Builder::observeCall(const ocl::ApiCallRecord &call)
+{
+    // The synchronization-epoch walk: each dispatch (by seq) gets
+    // the epoch its Kernel call was issued in; the counter advances
     // at each sync call that actually separated kernel work.
-    std::map<uint64_t, uint64_t> epoch_of;
-    uint64_t epoch = 0;
-    bool epoch_has_work = false;
-    for (const auto &call : call_stream) {
-        switch (ocl::apiCategory(call.id)) {
-          case ocl::ApiCategory::Kernel:
-            epoch_of[call.dispatchSeq] = epoch;
-            epoch_has_work = true;
-            break;
-          case ocl::ApiCategory::Synchronization:
-            if (epoch_has_work) {
-                ++epoch;
-                epoch_has_work = false;
-            }
-            break;
-          default:
-            break;
+    switch (ocl::apiCategory(call.id)) {
+      case ocl::ApiCategory::Kernel:
+        epochOf[call.dispatchSeq] = epoch;
+        epochHasWork = true;
+        break;
+      case ocl::ApiCategory::Synchronization:
+        if (epochHasWork) {
+            ++epoch;
+            epochHasWork = false;
         }
+        break;
+      default:
+        break;
     }
+}
 
-    // Both backends share this join so the running totals (and thus
-    // measuredSpi) accumulate in the identical FP order.
-    TraceDatabase db;
-    db.kind = backend;
-    db.records.reserve(profiles.size());
-    db.instrPrefix.reserve(profiles.size() + 1);
-    db.instrPrefix.push_back(0);
-    db.secondsCol.reserve(profiles.size());
-    for (size_t i = 0; i < profiles.size(); ++i) {
-        GT_ASSERT(profiles[i].seq == timings[i].seq,
-                  "profile/timing sequence mismatch at index ", i);
-        DispatchRecord rec;
-        rec.profile = std::move(profiles[i]);
-        rec.profile.checkShape();
-        rec.seconds = timings[i].seconds;
-        auto it = epoch_of.find(rec.profile.seq);
-        GT_ASSERT(it != epoch_of.end(),
-                  "dispatch ", rec.profile.seq,
-                  " missing from the host call stream");
-        rec.syncEpoch = it->second;
-        db.instrTotal += rec.profile.instrs;
-        db.secondsTotal += rec.seconds;
-        db.instrPrefix.push_back(db.instrPrefix.back() +
-                                 rec.profile.instrs);
-        db.secondsCol.push_back(rec.seconds);
-        db.records.push_back(std::move(rec));
-    }
+void
+TraceDatabase::Builder::append(gtpin::DispatchProfile profile,
+                               const cfl::KernelTiming &timing)
+{
+    GT_ASSERT(profile.seq == timing.seq,
+              "profile/timing sequence mismatch at index ",
+              records.size());
+    DispatchRecord rec;
+    rec.profile = std::move(profile);
+    rec.profile.checkShape();
+    rec.seconds = timing.seconds;
+    auto it = epochOf.find(rec.profile.seq);
+    GT_ASSERT(it != epochOf.end(),
+              "dispatch ", rec.profile.seq,
+              " missing from the host call stream");
+    rec.syncEpoch = it->second;
 
-    // Records must arrive in dispatch order with monotone epochs.
-    for (size_t i = 1; i < db.records.size(); ++i) {
-        GT_ASSERT(db.records[i].profile.seq >
-                      db.records[i - 1].profile.seq,
+    // Dispatches must arrive in order with monotone epochs.
+    if (!records.empty()) {
+        GT_ASSERT(rec.profile.seq > records.back().profile.seq,
                   "dispatch records out of order");
-        GT_ASSERT(db.records[i].syncEpoch >=
-                      db.records[i - 1].syncEpoch,
+        GT_ASSERT(rec.syncEpoch >= records.back().syncEpoch,
                   "sync epochs out of order");
     }
+
+    // The running totals accumulate in append order — the identical
+    // FP order batch build() uses, which is what makes seal() at any
+    // prefix bitwise equal to the batch oracle.
+    instrTotal += rec.profile.instrs;
+    secondsTotal += rec.seconds;
+    instrPrefix.push_back(instrPrefix.back() + rec.profile.instrs);
+    secondsCol.push_back(rec.seconds);
+    records.push_back(std::move(rec));
+}
+
+TraceDatabase
+TraceDatabase::Builder::seal(TraceDbBackend backend,
+                             uint32_t block_size) const &
+{
+    Builder copy(*this);
+    return std::move(copy).seal(backend, block_size);
+}
+
+TraceDatabase
+TraceDatabase::Builder::seal(TraceDbBackend backend,
+                             uint32_t block_size) &&
+{
+    TraceDatabase db;
+    db.kind = backend;
+    db.records = std::move(records);
+    db.instrPrefix = std::move(instrPrefix);
+    db.secondsCol = std::move(secondsCol);
+    db.instrTotal = instrTotal;
+    db.secondsTotal = secondsTotal;
 
     db.count = db.records.size();
     if (!db.records.empty())

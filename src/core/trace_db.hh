@@ -31,6 +31,7 @@
 #define GT_CORE_TRACE_DB_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -115,6 +116,8 @@ struct TraceDbFootprint
 class TraceDatabase
 {
   public:
+    class Builder;
+
     TraceDatabase();
     ~TraceDatabase();
     TraceDatabase(TraceDatabase &&) noexcept;
@@ -124,6 +127,9 @@ class TraceDatabase
      * Join GT-Pin profiles with CoFluent timings and the API call
      * stream. @p profiles and @p timings must cover the same
      * dispatches (matched by sequence number, in order).
+     * Implemented as a Builder fed everything then sealed, so the
+     * batch and incremental paths are one code path and bitwise
+     * equality between them holds by construction.
      */
     static TraceDatabase
     build(std::vector<gtpin::DispatchProfile> profiles,
@@ -202,6 +208,107 @@ class TraceDatabase
 
     // Columnar backend: the mapped spill (null for mem / empty).
     std::shared_ptr<const trace_store::ColumnarStore> store;
+};
+
+/**
+ * Streaming construction of a TraceDatabase, one dispatch at a time.
+ *
+ * The batch join consumes three complete streams; the profiling
+ * service sees the same data trickle in as a replay progresses: API
+ * calls at issue time, then the matching (profile, timing) pair when
+ * the dispatch drains. The builder accepts exactly that order —
+ * observeCall() advances the synchronization-epoch walk, append()
+ * joins one dispatch — and maintains the same running totals, prefix
+ * sums, and dense seconds column build() computes, in the same
+ * left-to-right FP order, so seal() at any point yields a database
+ * bitwise identical to build() over the prefix fed so far. A
+ * dispatch's epoch depends only on calls issued before its own
+ * Kernel call, which is why assignment at append time matches the
+ * batch walk at any arrival granularity.
+ *
+ * The prefix accessors mirror the TraceDatabase query API so the
+ * incremental interval builder can run against an unsealed prefix.
+ * Builders are copyable (cheap relative to a replay) — tests seal
+ * copies mid-stream to compare against batch oracles.
+ */
+class TraceDatabase::Builder
+{
+  public:
+    /** Advance the epoch walk over one host API call. Kernel calls
+     * must be observed before the dispatch they issue is appended. */
+    void observeCall(const ocl::ApiCallRecord &call);
+
+    /** Join one drained dispatch (profile + CoFluent timing). Must
+     * arrive in dispatch order with its Kernel call observed. */
+    void append(gtpin::DispatchProfile profile,
+                const cfl::KernelTiming &timing);
+
+    /** Dispatches appended so far. */
+    uint64_t numAppended() const { return records.size(); }
+
+    const gtpin::DispatchProfile &
+    profileAt(uint64_t i) const
+    {
+        return records[i].profile;
+    }
+
+    double seconds(uint64_t i) const { return records[i].seconds; }
+
+    uint64_t
+    syncEpoch(uint64_t i) const
+    {
+        return records[i].syncEpoch;
+    }
+
+    uint64_t totalInstrs() const { return instrTotal; }
+
+    double totalSeconds() const { return secondsTotal; }
+
+    /** Dynamic instructions of appended dispatches [first, last],
+     * both inclusive (exact prefix-sum subtraction). */
+    uint64_t
+    rangeInstrs(uint64_t first, uint64_t last) const
+    {
+        return instrPrefix[last + 1] - instrPrefix[first];
+    }
+
+    /** Kernel seconds of [first, last], accumulated left-to-right
+     * like TraceDatabase::rangeSeconds. */
+    double
+    rangeSeconds(uint64_t first, uint64_t last) const
+    {
+        double acc = 0.0;
+        for (uint64_t i = first; i <= last; ++i)
+            acc += secondsCol[i];
+        return acc;
+    }
+
+    /**
+     * Produce the database for everything appended so far; the
+     * builder keeps streaming. Bitwise identical to build() over the
+     * same prefix on both backends.
+     */
+    TraceDatabase seal(TraceDbBackend backend = defaultTraceDbBackend(),
+                       uint32_t block_size =
+                           trace_store::defaultBlockSize) const &;
+
+    /** Destructive seal (what build() uses): no copy of the joined
+     * records. */
+    TraceDatabase seal(TraceDbBackend backend = defaultTraceDbBackend(),
+                       uint32_t block_size =
+                           trace_store::defaultBlockSize) &&;
+
+  private:
+    std::vector<DispatchRecord> records;
+    std::vector<uint64_t> instrPrefix{0};
+    std::vector<double> secondsCol;
+    uint64_t instrTotal = 0;
+    double secondsTotal = 0.0;
+
+    // Incremental synchronization-epoch walk.
+    std::map<uint64_t, uint64_t> epochOf;
+    uint64_t epoch = 0;
+    bool epochHasWork = false;
 };
 
 } // namespace gt::core

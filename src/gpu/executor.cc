@@ -1493,33 +1493,31 @@ Executor::execModeName(ExecMode m)
     return m == ExecMode::Scalar ? "scalar" : "gang";
 }
 
-const Executor::Plan &
-Executor::plan(const KernelBinary *bin)
+void
+Executor::setSharedPlanCache(SharedPlanCache *cache)
 {
-    auto it = plans.find(bin);
-    if (it != plans.end()) {
-        const Plan &cached = it->second;
-        if (cached.generation == bin->generation &&
-            cached.numBlocks == bin->blocks.size() &&
-            cached.numInstrs == bin->staticInstrCount()) {
-            return cached;
-        }
-        // A different binary now lives at this address.
-        plans.erase(it);
-    }
+    GT_ASSERT(!cache || cache->deviceConfig().fpuLanesPerEu ==
+                  config.fpuLanesPerEu,
+              "shared plan cache bound to a device with a different "
+              "FPU width (plans embed issue cycles)");
+    sharedPlans = cache;
+    plans.clear();
+}
 
-    Plan p;
-    p.generation = bin->generation;
-    p.numBlocks = bin->blocks.size();
-    p.numInstrs = bin->staticInstrCount();
-    p.rel = isa::analyzeRelevance(*bin);
-    p.prog = isa::decodeUops(*bin, p.rel);
-    p.blockCycles.resize(bin->blocks.size());
-    p.blockInstrs.resize(bin->blocks.size());
-    p.relevantIdx.resize(bin->blocks.size());
+ExecPlan
+Executor::buildPlan(const KernelBinary &bin) const
+{
+    ExecPlan p;
+    p.numBlocks = bin.blocks.size();
+    p.numInstrs = bin.staticInstrCount();
+    p.rel = isa::analyzeRelevance(bin);
+    p.prog = isa::decodeUops(bin, p.rel);
+    p.blockCycles.resize(bin.blocks.size());
+    p.blockInstrs.resize(bin.blocks.size());
+    p.relevantIdx.resize(bin.blocks.size());
     uint16_t max_read = 0;
     bool any_read = false;
-    for (const auto &block : bin->blocks) {
+    for (const auto &block : bin.blocks) {
         double cycles = 0.0;
         for (const auto &ins : block.instrs) {
             cycles += issueCycles(ins, config.fpuLanesPerEu);
@@ -1551,8 +1549,45 @@ Executor::plan(const KernelBinary *bin)
     p.memberCycles.resize(p.prog.members.size());
     for (size_t i = 0; i < p.prog.members.size(); ++i)
         p.memberCycles[i] = p.blockCycles[p.prog.members[i]];
-    p.gang = isa::analyzeGangSafety(*bin);
-    return plans.emplace(bin, std::move(p)).first->second;
+    p.gang = isa::analyzeGangSafety(bin);
+    return p;
+}
+
+const Executor::Plan &
+Executor::plan(const KernelBinary *bin)
+{
+    auto it = plans.find(bin);
+    if (it != plans.end()) {
+        const LocalPlan &cached = it->second;
+        if (cached.generation == bin->generation &&
+            cached.plan->matchesShape(*bin)) {
+            return *cached.plan;
+        }
+        // A different binary now lives at this address.
+        plans.erase(it);
+    }
+
+    std::shared_ptr<const ExecPlan> shared;
+    uint64_t hash = 0;
+    if (sharedPlans) {
+        hash = isa::contentHash(*bin);
+        shared = sharedPlans->find(hash);
+        // Shape mismatch would mean a content-hash collision; build
+        // our own plan rather than adopting a wrong one.
+        if (shared && !shared->matchesShape(*bin))
+            shared = nullptr;
+    }
+    if (!shared) {
+        auto built = std::make_shared<const ExecPlan>(buildPlan(*bin));
+        shared = sharedPlans
+                     ? sharedPlans->insert(hash, std::move(built))
+                     : std::shared_ptr<const ExecPlan>(std::move(built));
+    }
+
+    LocalPlan local;
+    local.generation = bin->generation;
+    local.plan = std::move(shared);
+    return *plans.emplace(bin, std::move(local)).first->second.plan;
 }
 
 const isa::Relevance &

@@ -55,6 +55,7 @@
 #include "gpu/exec_profile.hh"
 #include "gpu/memory.hh"
 #include "gpu/memtrace.hh"
+#include "gpu/plan_cache.hh"
 #include "isa/slice.hh"
 #include "isa/uop.hh"
 
@@ -211,46 +212,46 @@ class Executor
     DetailedCheckpoint checkpoint(const Dispatch &dispatch,
                                   uint64_t trace_cap = 4'000'000);
 
-    /** Drop cached analyses (call when binaries are re-JITted). */
+    /**
+     * Drop cached analyses (call when binaries are re-JITted). Only
+     * the local per-address map is cleared; a shared plan cache is
+     * content-addressed, so its entries stay valid across re-JITs by
+     * construction.
+     */
     void invalidateAnalyses() { plans.clear(); }
+
+    /**
+     * Attach a cross-driver plan cache (null detaches). On a local
+     * plan miss the executor consults the cache by binary content
+     * hash and adopts the published plan; on a cache miss it builds
+     * the plan fully, publishes it (first insert wins), and adopts
+     * the canonical copy. Plans embed device-dependent issue cycles,
+     * so the cache must be bound to a device with the same FPU width.
+     */
+    void setSharedPlanCache(SharedPlanCache *cache);
+
+    SharedPlanCache *sharedPlanCache() const { return sharedPlans; }
 
   private:
     struct ThreadCtx;
     struct GangCtx;
 
-    /** Cached per-binary execution plan. */
-    struct Plan
-    {
-        /** Identity: the binary's generation stamp, plus shape as a
-         * belt-and-braces check against in-place mutation. */
-        uint64_t generation = 0;
-        size_t numBlocks = 0;
-        uint64_t numInstrs = 0;
+    /** Per-binary execution plan (shared across drivers; see
+     * gpu/plan_cache.hh). */
+    using Plan = ExecPlan;
 
-        isa::Relevance rel;
-        /** Predecoded micro-op program (uop backend). */
-        isa::UopProgram prog;
-        /** Issue cycles per block (application + instrumentation). */
-        std::vector<double> blockCycles;
-        /** blockCycles flattened parallel to prog.members, so the uop
-         * backend's per-superblock accrual reads sequentially instead
-         * of chasing member -> block indirections. */
-        std::vector<double> memberCycles;
-        /** Total instructions per block (for the runaway limit). */
-        std::vector<uint64_t> blockInstrs;
-        /** Indices of instructions evaluated in Fast mode, per block. */
-        std::vector<std::vector<uint16_t>> relevantIdx;
-        /** Registers [0, clearRegs) may be read before written; reset
-         * zeroes exactly these (0 = the kernel reads no registers). */
-        uint16_t clearRegs = 0;
-        /** Kernel touches shared-local memory, so reset must clear
-         * the 16 KB local block; provably untouched => skipped. */
-        bool usesLocal = false;
-        /** Gang-safety verdict (see isa/slice.hh). */
-        isa::GangSafety gang;
+    /** Local adoption of a plan: the owning binary's generation stamp
+     * tells a re-JIT landing at the same address apart. */
+    struct LocalPlan
+    {
+        uint64_t generation = 0;
+        std::shared_ptr<const ExecPlan> plan;
     };
 
     const Plan &plan(const isa::KernelBinary *bin);
+
+    /** Build the full plan for @p bin (pure; does not cache). */
+    ExecPlan buildPlan(const isa::KernelBinary &bin) const;
 
     /**
      * Run one hardware thread (switch backend).
@@ -330,7 +331,8 @@ class Executor
     bool lastGanged = false;
     Backend backendSel;
     ExecMode execSel;
-    std::unordered_map<const isa::KernelBinary *, Plan> plans;
+    std::unordered_map<const isa::KernelBinary *, LocalPlan> plans;
+    SharedPlanCache *sharedPlans = nullptr;
 
     /** Reusable per-run scratch: the architectural thread context and
      * the per-thread count/delta accumulators, hoisted out of the

@@ -1,0 +1,58 @@
+#include "gpu/plan_cache.hh"
+
+namespace gt::gpu
+{
+
+std::shared_ptr<const DetailedCheckpoint>
+SharedCheckpointCache::find(const Key &key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = table.find(key);
+    if (it == table.end()) {
+        missCount.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    hitCount.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+std::shared_ptr<const DetailedCheckpoint>
+SharedCheckpointCache::insert(const Key &key,
+                              const DetailedCheckpoint &ckpt,
+                              const isa::KernelBinary &binary)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto bit = binaries.find(key.binaryHash);
+    if (bit == binaries.end()) {
+        bit = binaries
+                  .emplace(key.binaryHash,
+                           std::make_shared<const isa::KernelBinary>(
+                               binary))
+                  .first;
+    }
+    auto copy = std::make_shared<DetailedCheckpoint>(ckpt);
+    copy->binary = bit->second.get();
+    auto [it, fresh] = table.emplace(key, std::move(copy));
+    if (fresh)
+        buildCount.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+SharedCacheStats
+SharedCheckpointCache::stats() const
+{
+    SharedCacheStats s;
+    s.builds = buildCount.load(std::memory_order_relaxed);
+    s.hits = hitCount.load(std::memory_order_relaxed);
+    s.misses = missCount.load(std::memory_order_relaxed);
+    return s;
+}
+
+size_t
+SharedCheckpointCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return table.size();
+}
+
+} // namespace gt::gpu

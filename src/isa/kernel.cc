@@ -64,6 +64,78 @@ KernelBinary::successors(const BasicBlock &block) const
 namespace
 {
 
+/** FNV-1a, folded a machine word at a time. */
+struct Fnv
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+
+    void
+    mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    mix(const std::string &s)
+    {
+        mix((uint64_t)s.size());
+        for (char c : s) {
+            h ^= (uint8_t)c;
+            h *= 0x100000001b3ULL;
+        }
+    }
+};
+
+void
+mixOperand(Fnv &f, const Operand &o)
+{
+    f.mix((uint64_t)o.kind);
+    f.mix(o.reg);
+    f.mix(o.imm);
+}
+
+} // anonymous namespace
+
+uint64_t
+contentHash(const KernelBinary &bin)
+{
+    Fnv f;
+    f.mix(bin.name);
+    f.mix(bin.numArgs);
+    f.mix(bin.maxReg);
+    f.mix((uint64_t)bin.blocks.size());
+    for (const BasicBlock &block : bin.blocks) {
+        f.mix(block.id);
+        f.mix((uint64_t)block.instrs.size());
+        for (const Instruction &ins : block.instrs) {
+            f.mix((uint64_t)ins.op);
+            f.mix(ins.simdWidth);
+            f.mix(ins.dst);
+            mixOperand(f, ins.src0);
+            mixOperand(f, ins.src1);
+            mixOperand(f, ins.src2);
+            f.mix(ins.flag);
+            f.mix((uint64_t)ins.cmpOp);
+            f.mix((uint64_t)ins.flagMode);
+            f.mix((uint64_t)(int64_t)ins.target);
+            f.mix(ins.send.isWrite);
+            f.mix(ins.send.bytesPerLane);
+            f.mix((uint64_t)ins.send.space);
+            f.mix(ins.send.addrReg);
+            f.mix((uint64_t)(int64_t)ins.send.offset);
+            f.mix(ins.profSlot);
+            f.mix(ins.profArg);
+        }
+    }
+    return f.h;
+}
+
+namespace
+{
+
 bool
 validSimdWidth(uint8_t w)
 {

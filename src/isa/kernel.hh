@@ -146,6 +146,18 @@ class JitCompiler
  */
 void verify(const KernelBinary &binary);
 
+/**
+ * Content identity of a binary: an FNV-1a fold over every semantic
+ * field (name, argument count, register bound, and each block's
+ * instructions field by field). Two binaries JIT-compiled from the
+ * same source by different drivers carry different generation stamps
+ * but the same content hash — this is what lets cross-driver caches
+ * (shared execution plans, shared detailed checkpoints) recognize
+ * them as the same program. The generation stamp is deliberately
+ * excluded.
+ */
+uint64_t contentHash(const KernelBinary &binary);
+
 } // namespace gt::isa
 
 #endif // GT_ISA_KERNEL_HH

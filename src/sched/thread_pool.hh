@@ -184,6 +184,100 @@ class ThreadPool
     std::atomic<uint64_t> pendingTasks{0};
 };
 
+/**
+ * Non-owning view of a shared pool with a width cap: the
+ * oversubscription guard for layers that replay many independent
+ * jobs concurrently (the profiling service's tenants). Without it,
+ * each job is tempted to size its own pool from GT_THREADS, so N
+ * jobs stack N x GT_THREADS runnable threads on the same cores; with
+ * it, every job threads the *same* pool through its options (nested
+ * parallelFor work executes cooperatively there) and the handle
+ * admits at most width() top-level jobs at a time via RAII slots.
+ *
+ * Admission order does not affect results: everything a job computes
+ * is deterministic for any schedule (see the pool's determinism
+ * contract), so the cap changes wall clock and footprint only.
+ */
+class PoolHandle
+{
+  public:
+    /** @param width top-level job cap; 0 = the pool's thread count. */
+    explicit PoolHandle(ThreadPool &shared_pool, unsigned width = 0)
+        : target(shared_pool),
+          cap(width ? width : shared_pool.threadCount())
+    {
+    }
+
+    PoolHandle(const PoolHandle &) = delete;
+    PoolHandle &operator=(const PoolHandle &) = delete;
+
+    /** The shared pool every admitted job must run its work on. */
+    ThreadPool &pool() const { return target; }
+
+    /** Maximum concurrently admitted jobs. */
+    unsigned width() const { return cap; }
+
+    /** Jobs currently admitted (for tests and stats). */
+    unsigned
+    active() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return running;
+    }
+
+    /** An admission slot; holding one is the license to run a job. */
+    class Slot
+    {
+      public:
+        Slot(Slot &&other) noexcept : owner(other.owner)
+        {
+            other.owner = nullptr;
+        }
+
+        Slot(const Slot &) = delete;
+        Slot &operator=(const Slot &) = delete;
+        Slot &operator=(Slot &&) = delete;
+
+        ~Slot()
+        {
+            if (owner)
+                owner->release();
+        }
+
+      private:
+        friend class PoolHandle;
+        explicit Slot(PoolHandle *handle) : owner(handle) {}
+        PoolHandle *owner;
+    };
+
+    /** Block until a slot is free, then take it. */
+    Slot
+    acquire()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        freed.wait(lock, [this] { return running < cap; });
+        ++running;
+        return Slot(this);
+    }
+
+  private:
+    void
+    release()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            --running;
+        }
+        freed.notify_one();
+    }
+
+    ThreadPool &target;
+    unsigned cap;
+    mutable std::mutex mutex;
+    std::condition_variable freed;
+    unsigned running = 0;
+};
+
 } // namespace gt::sched
 
 #endif // GT_SCHED_THREAD_POOL_HH

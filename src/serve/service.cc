@@ -1,0 +1,396 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "gtpin/tools.hh"
+#include "workloads/templates.hh"
+
+namespace gt::serve
+{
+
+using core::simpoint::Point;
+using core::simpoint::UniqueIndex;
+
+WorkloadSession::WorkloadSession(std::string workload_name,
+                                 const ServiceConfig &config,
+                                 sched::ThreadPool &shared_pool)
+    : workloadName(std::move(workload_name)), pool(shared_pool),
+      clusterOptions(config.cluster)
+{
+    clusterOptions.pool = &pool;
+    configs.reserve(config.selections.size());
+    for (const SelectionConfig &sc : config.selections) {
+        uint64_t target = config.targetInstrs;
+        configs.push_back(ConfigState{
+            sc, core::IncrementalIntervals(sc.scheme, target),
+            {}, 0, {}, {}, 0, false});
+    }
+}
+
+void
+WorkloadSession::observeCall(const ocl::ApiCallRecord &call)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    builder.observeCall(call);
+}
+
+void
+WorkloadSession::addDispatch(const gtpin::DispatchProfile &profile,
+                             const cfl::KernelTiming &timing)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    builder.append(profile, timing);
+    features.appendDispatch(profile);
+    uint64_t i = builder.numAppended() - 1;
+    uint64_t epoch = builder.syncEpoch(i);
+    for (ConfigState &cs : configs)
+        cs.intervals.append(epoch, profile.instrs, timing.seconds);
+    ++counters.dispatches;
+}
+
+void
+WorkloadSession::refresh()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    ++counters.refreshes;
+    for (ConfigState &cs : configs)
+        refreshConfig(cs);
+}
+
+void
+WorkloadSession::refreshConfig(ConfigState &cs)
+{
+    uint64_t now = builder.numAppended();
+    if (now == 0)
+        return; // nothing to select from yet
+    if (cs.hasSelection && cs.selectionAt == now) {
+        // The population gained no dispatches: the memoized
+        // selection is still exact.
+        ++counters.reusedSelections;
+        return;
+    }
+
+    // Grow the shared query-side state to the current key universe.
+    // Projection rows are pure per-key, so the extended table agrees
+    // bitwise with a fresh build — and with every cached point.
+    features.refreshColumns();
+    if (table.size() != features.numKeys()) {
+        table = core::simpoint::ProjectionTable::build(
+            features.uniqueKeys(), table);
+    }
+
+    std::vector<core::Interval> intervals = cs.intervals.snapshot();
+    size_t total = intervals.size();
+    size_t completed =
+        std::min(cs.intervals.numCompleted(), total);
+    GT_ASSERT(cs.stable <= completed,
+              "stable point prefix shrank: ", cs.stable, " > ",
+              completed);
+
+    // Completed intervals are final: their cached points are the
+    // bits a fresh projectAll would produce. Only the boundary-fresh
+    // intervals and the open tail project anew.
+    cs.points.resize(total);
+    core::DispatchFeatureCache::Scratch scratch;
+    for (size_t i = cs.stable; i < total; ++i) {
+        cs.points[i] = features.projectInto(
+            intervals[i], cs.config.feature, scratch, table);
+    }
+    counters.reusedPoints += cs.stable;
+    counters.projectedPoints += total - cs.stable;
+
+    // Extend the unique-value index over the newly completed prefix
+    // (cached for the next refresh), then over the volatile tail
+    // (per-refresh only: the open interval's point changes as more
+    // dispatches accumulate into it).
+    const double *flat =
+        cs.points.empty() ? nullptr : cs.points.front().data();
+    cs.uniq = core::simpoint::extendUniqueIndex(cs.uniq, flat,
+                                                cs.stable, completed);
+    cs.stable = completed;
+    UniqueIndex full = core::simpoint::extendUniqueIndex(
+        cs.uniq, flat, completed, total);
+
+    core::simpoint::ClusterOptions options = clusterOptions;
+    options.uniqueIndex = &full;
+    cs.selection = core::selectFromProjected(
+        cs.config.scheme, cs.config.feature, std::move(intervals),
+        cs.points, builder.totalInstrs(), options);
+    cs.selectionAt = now;
+    cs.hasSelection = true;
+    ++counters.reclustered;
+}
+
+core::SubsetSelection
+WorkloadSession::selection(size_t config) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    GT_ASSERT(config < configs.size(), "selection config ", config,
+              " out of range (", configs.size(), " configured)");
+    GT_ASSERT(configs[config].hasSelection,
+              "no refresh() has run since dispatches arrived");
+    return configs[config].selection;
+}
+
+uint64_t
+WorkloadSession::numDispatches() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return builder.numAppended();
+}
+
+core::TraceDatabase
+WorkloadSession::sealDatabase(core::TraceDbBackend backend) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return builder.seal(backend);
+}
+
+SessionStats
+WorkloadSession::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counters;
+}
+
+ProfilingService::ProfilingService(ServiceConfig config)
+    : cfg(std::move(config)),
+      pool(cfg.pool ? *cfg.pool : sched::ThreadPool::global()),
+      admission(pool, cfg.replayWidth), plans(cfg.device)
+{
+}
+
+ProfilingService::~ProfilingService()
+{
+    std::vector<std::future<void>> work;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        work.swap(pendingReplays);
+    }
+    for (std::future<void> &f : work) {
+        try {
+            f.get();
+        } catch (...) {
+            // drain() is the reporting path; the destructor only
+            // guarantees no replay outlives the service.
+        }
+    }
+}
+
+ProfilingService::TenantId
+ProfilingService::openTenant(std::string name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    tenants.push_back(std::make_unique<Tenant>());
+    tenants.back()->name = std::move(name);
+    return tenants.size() - 1;
+}
+
+ProfilingService::WorkloadId
+ProfilingService::submit(TenantId tenant, std::string workload_name,
+                         cfl::Recording recording)
+{
+    Workload *wl = nullptr;
+    WorkloadId id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        GT_ASSERT(tenant < tenants.size(), "unknown tenant ",
+                  tenant);
+        Tenant &t = *tenants[tenant];
+        auto workload = std::make_unique<Workload>();
+        workload->recording = std::move(recording);
+        workload->session = std::make_unique<WorkloadSession>(
+            std::move(workload_name), cfg, pool);
+        t.workloads.push_back(std::move(workload));
+        wl = t.workloads.back().get();
+        id = t.workloads.size() - 1;
+    }
+    // Schedule outside the service lock: on a 1-thread pool submit()
+    // runs the replay inline, and the replay takes the lock-free
+    // feed path into the session.
+    std::future<void> fut =
+        pool.submit([this, wl] { runReplay(*wl); });
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        pendingReplays.push_back(std::move(fut));
+    }
+    return id;
+}
+
+void
+ProfilingService::drain()
+{
+    std::vector<std::future<void>> work;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        work.swap(pendingReplays);
+    }
+    for (std::future<void> &f : work)
+        f.get();
+}
+
+void
+ProfilingService::refreshAll()
+{
+    std::vector<WorkloadSession *> sessions;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (const auto &t : tenants) {
+            for (const auto &w : t->workloads)
+                sessions.push_back(w->session.get());
+        }
+    }
+    for (WorkloadSession *s : sessions)
+        s->refresh();
+}
+
+WorkloadSession &
+ProfilingService::session(TenantId tenant, WorkloadId workload)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    GT_ASSERT(tenant < tenants.size(), "unknown tenant ", tenant);
+    Tenant &t = *tenants[tenant];
+    GT_ASSERT(workload < t.workloads.size(), "unknown workload ",
+              workload, " for tenant '", t.name, "'");
+    return *t.workloads[workload]->session;
+}
+
+ServiceStats
+ProfilingService::stats() const
+{
+    ServiceStats st;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        st.tenants = tenants.size();
+        for (const auto &t : tenants) {
+            st.workloads += t->workloads.size();
+            for (const auto &w : t->workloads) {
+                SessionStats s = w->session->stats();
+                st.sessions.dispatches += s.dispatches;
+                st.sessions.refreshes += s.refreshes;
+                st.sessions.reclustered += s.reclustered;
+                st.sessions.reusedSelections += s.reusedSelections;
+                st.sessions.reusedPoints += s.reusedPoints;
+                st.sessions.projectedPoints += s.projectedPoints;
+            }
+        }
+    }
+    st.replays = replayCount.load();
+    st.artifactHits = artifactHitCount.load();
+    st.planCache = plans.stats();
+    st.checkpointCache = ckpts.stats();
+    return st;
+}
+
+void
+ProfilingService::runReplay(Workload &workload)
+{
+    // The oversubscription guard: every replay runs on the one
+    // shared pool, and at most admission.width() run concurrently.
+    sched::PoolHandle::Slot slot = admission.acquire();
+
+    uint64_t key = cfl::recordingContentHash(workload.recording);
+    std::shared_ptr<const ReplayArtifact> artifact;
+    {
+        std::lock_guard<std::mutex> lock(artifactMutex);
+        auto it = artifacts.find(key);
+        if (it != artifacts.end())
+            artifact = it->second;
+    }
+    if (artifact) {
+        artifactHitCount.fetch_add(1, std::memory_order_relaxed);
+        feedFromArtifact(*workload.session, *artifact);
+        return;
+    }
+
+    replayCount.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<ReplayArtifact> built = replayStreaming(workload);
+    {
+        // First insert wins; a racing duplicate replay fed its own
+        // session identically, so dropping its artifact loses
+        // nothing.
+        std::lock_guard<std::mutex> lock(artifactMutex);
+        artifacts.emplace(key, std::move(built));
+    }
+}
+
+std::shared_ptr<ReplayArtifact>
+ProfilingService::replayStreaming(Workload &workload)
+{
+    workloads::TemplateJit jit;
+    ocl::GpuDriver driver(cfg.device, jit, cfg.trial);
+    driver.setSharedCaches(&plans, &ckpts);
+
+    // The replayTrial tool set: instrumentation load shifts relative
+    // SPI, so service replays carry the same instrumentation the
+    // batch pipeline does or selections would be biased against it.
+    gtpin::KernelProfileTool profile_tool;
+    gtpin::BasicBlockCounterTool bb_tool;
+    gtpin::OpcodeMixTool mix_tool;
+    gtpin::MemBytesTool mem_tool;
+    gtpin::GtPin pin;
+    pin.addTool(&profile_tool);
+    pin.addTool(&bb_tool);
+    pin.addTool(&mix_tool);
+    pin.addTool(&mem_tool);
+    pin.attach(driver);
+
+    ocl::ClRuntime runtime(driver);
+    cfl::ApiTracer tracer;
+    runtime.addObserver(&tracer);
+
+    // Stream the replay: calls feed the session's epoch walk as they
+    // issue; dispatch rows feed as they drain (kernels execute at
+    // host/device alignment points, so rows arrive in sync-epoch
+    // bursts — exactly the granularity the incremental interval
+    // builder closes intervals at).
+    cfl::StreamingReplay stream(workload.recording, runtime);
+    WorkloadSession &session = *workload.session;
+    size_t calls_fed = 0;
+    size_t rows_fed = 0;
+    auto feed = [&] {
+        const std::vector<ocl::ApiCallRecord> &calls =
+            tracer.callStream();
+        for (; calls_fed < calls.size(); ++calls_fed)
+            session.observeCall(calls[calls_fed]);
+        const std::vector<gtpin::DispatchProfile> &profiles =
+            profile_tool.profiles();
+        const std::vector<cfl::KernelTiming> &timings =
+            tracer.kernelTimings();
+        size_t avail = std::min(profiles.size(), timings.size());
+        for (; rows_fed < avail; ++rows_fed)
+            session.addDispatch(profiles[rows_fed],
+                                timings[rows_fed]);
+    };
+    while (stream.nextDispatch())
+        feed();
+    stream.drain();
+    feed();
+    pin.detach();
+
+    auto artifact = std::make_shared<ReplayArtifact>();
+    artifact->calls = tracer.callStream();
+    artifact->profiles = profile_tool.takeProfiles();
+    artifact->timings = tracer.kernelTimings();
+    return artifact;
+}
+
+void
+ProfilingService::feedFromArtifact(WorkloadSession &session,
+                                   const ReplayArtifact &artifact)
+{
+    // Epoch assignment depends only on calls issued before each
+    // dispatch's own Kernel call, so feeding the whole call stream
+    // first and the rows after reproduces the streamed session state
+    // bit for bit.
+    for (const ocl::ApiCallRecord &call : artifact.calls)
+        session.observeCall(call);
+    GT_ASSERT(artifact.profiles.size() == artifact.timings.size(),
+              "artifact profile/timing count mismatch");
+    for (size_t i = 0; i < artifact.profiles.size(); ++i)
+        session.addDispatch(artifact.profiles[i],
+                            artifact.timings[i]);
+}
+
+} // namespace gt::serve

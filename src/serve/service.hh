@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Streaming multi-tenant profiling service.
+ *
+ * The paper's pipeline is batch-shaped: profile one application,
+ * build its database, divide intervals, extract features, cluster,
+ * select. This service turns that pipeline into a long-running
+ * facility the way GT-Pin is deployed inside a design team: N
+ * tenants (users, CI jobs, sweep drivers) each submit recorded API
+ * streams (cfl::Recording), the service replays them on per-tenant
+ * driver stacks sharing one thread pool, and each workload's
+ * intervals, feature columns, and subset selections are maintained
+ * *incrementally* as dispatches drain — a refresh() at any moment
+ * answers with selections bitwise identical to a one-shot
+ * selectSubset() over everything fed so far.
+ *
+ * Cross-tenant sharing is content-addressed and immutable:
+ *
+ *  - gpu::SharedPlanCache — kernel execution plans (decoded uop
+ *    programs, block cycle tables, gang verdicts) keyed on
+ *    isa::contentHash, shared by every tenant driver;
+ *  - gpu::SharedCheckpointCache — detailed-mode warm checkpoints
+ *    keyed on (binary hash, dispatch shape);
+ *  - the replay-artifact cache here — full replay outcomes (call
+ *    stream, dispatch profiles, timings) keyed on
+ *    cfl::recordingContentHash, so the second tenant submitting an
+ *    identical recording streams the cached rows instead of
+ *    re-executing kernels. On a single-core host this dedup, not
+ *    thread parallelism, is what makes aggregate throughput scale
+ *    with tenant count (bench/service_throughput gates it).
+ *
+ * All caches follow the repo's "fully built => const, shareable"
+ * contract: artifacts are inserted only once complete, never mutated
+ * afterwards, first insert wins, and lookups hand out
+ * shared_ptr<const> (or stable const references) safe to read from
+ * any thread.
+ *
+ * Incremental selection refresh reuses three invariants, each pinned
+ * by differential tests:
+ *
+ *  1. closed intervals are final (core::IncrementalIntervals), so
+ *     per-interval projected points for the completed prefix never
+ *     change;
+ *  2. projection rows are pure per-key
+ *     (simpoint::ProjectionTable::build-with-reuse), so cached
+ *     prefix points stay bitwise valid as the key universe grows;
+ *  3. the unique-value index is a pure function of the point
+ *     multiset (simpoint::extendUniqueIndex), so the pruned k-means
+ *     index extends instead of re-sorting.
+ *
+ * A population is re-clustered only when its workload gained
+ * dispatches since the last refresh; untouched configurations are
+ * answered from the memoized selection.
+ */
+
+#ifndef GT_SERVE_SERVICE_HH
+#define GT_SERVE_SERVICE_HH
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cfl/recorder.hh"
+#include "cfl/tracer.hh"
+#include "core/feature_engine.hh"
+#include "core/interval.hh"
+#include "core/selection.hh"
+#include "gpu/plan_cache.hh"
+#include "ocl/driver.hh"
+#include "sched/thread_pool.hh"
+
+namespace gt::serve
+{
+
+/** One (interval scheme, feature kind) selection configuration a
+ * session keeps refreshed. */
+struct SelectionConfig
+{
+    core::IntervalScheme scheme = core::IntervalScheme::SyncBounded;
+    core::FeatureKind feature = core::FeatureKind::BB;
+};
+
+/** Service-wide configuration, fixed at construction. */
+struct ServiceConfig
+{
+    gpu::DeviceConfig device = gpu::DeviceConfig::hd4000();
+    gpu::TrialConfig trial = {};
+
+    /** Selections maintained per workload (default: the paper's BB
+     * feature under all three interval schemes). */
+    std::vector<SelectionConfig> selections = {
+        {core::IntervalScheme::SyncBounded, core::FeatureKind::BB},
+        {core::IntervalScheme::ApproxInstructions,
+         core::FeatureKind::BB},
+        {core::IntervalScheme::SingleKernel, core::FeatureKind::BB},
+    };
+
+    /** Clustering options shared by every refresh; the service
+     * threads its own pool and unique index through per call. */
+    core::simpoint::ClusterOptions cluster = {};
+
+    /** ApproxInstructions chunk size (0 = derive from the final
+     * total, see buildIntervals()). */
+    uint64_t targetInstrs = 0;
+
+    /**
+     * Concurrent-replay admission cap (0 = the pool's thread
+     * count). This is the oversubscription guard: every tenant
+     * replay runs on the one shared pool below, and at most this
+     * many run at a time — no per-tenant pools sized from
+     * GT_THREADS.
+     */
+    unsigned replayWidth = 0;
+
+    /** Shared pool for replays and refresh clustering (null = the
+     * process-wide pool). */
+    sched::ThreadPool *pool = nullptr;
+};
+
+/**
+ * One complete replay outcome, cached across tenants by recording
+ * content hash. Immutable once built (const members only through the
+ * shared_ptr), so any number of sessions may stream from it
+ * concurrently.
+ */
+struct ReplayArtifact
+{
+    std::vector<ocl::ApiCallRecord> calls;
+    std::vector<gtpin::DispatchProfile> profiles;
+    std::vector<cfl::KernelTiming> timings;
+
+    uint64_t dispatchCount() const { return profiles.size(); }
+};
+
+/** Per-session work counters (monotone; see stats()). */
+struct SessionStats
+{
+    uint64_t dispatches = 0;       //!< rows fed into the session
+    uint64_t refreshes = 0;        //!< refresh() calls
+    uint64_t reclustered = 0;      //!< config refreshes that ran k-means
+    uint64_t reusedSelections = 0; //!< answered from the memo
+    uint64_t reusedPoints = 0;     //!< cached prefix points kept
+    uint64_t projectedPoints = 0;  //!< points (re)computed
+};
+
+/**
+ * Per-(tenant, workload) incremental selection state: a streaming
+ * TraceDatabase::Builder, the flat feature columns, one
+ * IncrementalIntervals per configured scheme, and the memoized
+ * refresh artifacts (points, unique index, projection table,
+ * selection). Thread-safe: every method locks the session, so the
+ * service's replay task may feed while another thread refreshes or
+ * reads selections.
+ */
+class WorkloadSession
+{
+  public:
+    WorkloadSession(std::string workload_name,
+                    const ServiceConfig &config,
+                    sched::ThreadPool &pool);
+
+    /** Advance the sync-epoch walk over one host API call (must be
+     * fed in call order, before the dispatches it precedes). */
+    void observeCall(const ocl::ApiCallRecord &call);
+
+    /** Feed one drained dispatch: joins the builder, lowers the
+     * feature columns, and advances every interval scheme. */
+    void addDispatch(const gtpin::DispatchProfile &profile,
+                     const cfl::KernelTiming &timing);
+
+    /**
+     * Incremental selection refresh over everything fed so far.
+     * Configurations whose population gained no dispatches since
+     * their last refresh are answered from the memoized selection;
+     * the rest re-cluster, reusing the completed-prefix points, the
+     * extended unique-value index, and the grown projection table.
+     * The result is bitwise identical — selections, chosen k,
+     * ratios — to a one-shot selectSubset() over a database sealed
+     * at this prefix (the service differential tests pin this at
+     * multiple arrival orders and granularities).
+     */
+    void refresh();
+
+    /** Latest refreshed selection of configuration @p config (index
+     * into ServiceConfig::selections). refresh() must have run since
+     * the first dispatch arrived. */
+    core::SubsetSelection selection(size_t config) const;
+
+    uint64_t numDispatches() const;
+
+    /** Seal a TraceDatabase over everything fed so far — the oracle
+     * the differential tests and SPI projections run against. */
+    core::TraceDatabase
+    sealDatabase(core::TraceDbBackend backend =
+                     core::defaultTraceDbBackend()) const;
+
+    SessionStats stats() const;
+
+    const std::string &name() const { return workloadName; }
+
+  private:
+    struct ConfigState
+    {
+        SelectionConfig config;
+        core::IncrementalIntervals intervals;
+        /** Cached per-interval projected points; [0, stable) cover
+         * completed (final) intervals and are reused verbatim. */
+        std::vector<core::simpoint::Point> points;
+        size_t stable = 0;
+        /** Unique-value index over the stable prefix. */
+        core::simpoint::UniqueIndex uniq;
+        core::SubsetSelection selection;
+        uint64_t selectionAt = 0; //!< dispatch count at last cluster
+        bool hasSelection = false;
+    };
+
+    void refreshConfig(ConfigState &state);
+
+    std::string workloadName;
+    sched::ThreadPool &pool;
+    core::simpoint::ClusterOptions clusterOptions;
+
+    mutable std::mutex mutex;
+    core::TraceDatabase::Builder builder;
+    core::DispatchFeatureCache features;
+    core::simpoint::ProjectionTable table;
+    std::vector<ConfigState> configs;
+    SessionStats counters;
+};
+
+/** Service-wide counters and cache statistics. */
+struct ServiceStats
+{
+    uint64_t tenants = 0;
+    uint64_t workloads = 0;
+    uint64_t replays = 0;      //!< recordings actually re-executed
+    uint64_t artifactHits = 0; //!< recordings served from the cache
+    SessionStats sessions;     //!< summed over every session
+    gpu::SharedCacheStats planCache;
+    gpu::SharedCacheStats checkpointCache;
+};
+
+/**
+ * The multi-tenant profiling service (see the file comment).
+ * Tenants are opened, recordings submitted (asynchronously replayed
+ * on the shared pool), drain() joins the outstanding replays, and
+ * refreshAll()/session() expose the incrementally maintained
+ * selections.
+ */
+class ProfilingService
+{
+  public:
+    using TenantId = size_t;
+    using WorkloadId = size_t;
+
+    explicit ProfilingService(ServiceConfig config = {});
+
+    /** Joins outstanding replays (failures are swallowed here; call
+     * drain() first to observe them). */
+    ~ProfilingService();
+
+    ProfilingService(const ProfilingService &) = delete;
+    ProfilingService &operator=(const ProfilingService &) = delete;
+
+    TenantId openTenant(std::string name);
+
+    /**
+     * Submit one recorded workload for @p tenant. The replay is
+     * scheduled on the shared pool and streams into the workload's
+     * session as dispatches drain; identical recordings (by content
+     * hash) from any tenant are served from the replay-artifact
+     * cache without re-executing kernels.
+     */
+    WorkloadId submit(TenantId tenant, std::string workload_name,
+                      cfl::Recording recording);
+
+    /** Wait for every outstanding replay; rethrows the first
+     * failure. */
+    void drain();
+
+    /** refresh() every session (see WorkloadSession::refresh). */
+    void refreshAll();
+
+    /** The incremental state of one submitted workload. */
+    WorkloadSession &session(TenantId tenant, WorkloadId workload);
+
+    gpu::SharedPlanCache &planCache() { return plans; }
+
+    gpu::SharedCheckpointCache &checkpointCache() { return ckpts; }
+
+    const ServiceConfig &config() const { return cfg; }
+
+    ServiceStats stats() const;
+
+  private:
+    struct Workload
+    {
+        cfl::Recording recording;
+        std::unique_ptr<WorkloadSession> session;
+    };
+
+    struct Tenant
+    {
+        std::string name;
+        std::vector<std::unique_ptr<Workload>> workloads;
+    };
+
+    void runReplay(Workload &workload);
+    std::shared_ptr<ReplayArtifact> replayStreaming(Workload &workload);
+    static void feedFromArtifact(WorkloadSession &session,
+                                 const ReplayArtifact &artifact);
+
+    ServiceConfig cfg;
+    sched::ThreadPool &pool;
+    sched::PoolHandle admission;
+    gpu::SharedPlanCache plans;
+    gpu::SharedCheckpointCache ckpts;
+
+    mutable std::mutex artifactMutex;
+    std::unordered_map<uint64_t, std::shared_ptr<const ReplayArtifact>>
+        artifacts;
+    std::atomic<uint64_t> replayCount{0};
+    std::atomic<uint64_t> artifactHitCount{0};
+
+    mutable std::mutex mutex; //!< tenants + pending futures
+    std::vector<std::unique_ptr<Tenant>> tenants;
+    std::vector<std::future<void>> pendingReplays;
+};
+
+} // namespace gt::serve
+
+#endif // GT_SERVE_SERVICE_HH

@@ -1,0 +1,673 @@
+/**
+ * @file
+ * Profiling-service differential tests: the streaming
+ * TraceDatabase::Builder, incremental interval division, incremental
+ * feature columns, incremental selection refresh, and the shared
+ * content-addressed caches.
+ *
+ * The service's central contract is "incremental == one-shot,
+ * bitwise": a session fed one dispatch at a time and refreshed at
+ * any arrival prefix must answer with exactly the database,
+ * intervals, feature vectors, and selections a batch pipeline run
+ * over the same prefix produces. These tests pin that equivalence
+ * across schemes, feed granularities, refresh cadences, and pool
+ * widths, plus the cache-sharing rules ("fully built => const,
+ * shareable") under real concurrency — the `service` label puts the
+ * whole file under TSan in the tsan preset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/pipeline.hh"
+#include "gtpin/tools.hh"
+#include "serve/service.hh"
+#include "workloads/templates.hh"
+
+namespace gt::serve
+{
+namespace
+{
+
+using core::Interval;
+using core::IntervalScheme;
+using core::TraceDatabase;
+
+struct Inputs
+{
+    std::vector<gtpin::DispatchProfile> profiles;
+    std::vector<cfl::KernelTiming> timings;
+    std::vector<ocl::ApiCallRecord> calls;
+};
+
+/** Deterministic synthetic suite shaped like the profiled apps: a
+ * dozen distinct kernels re-dispatched many times, small block
+ * vectors, syncs every handful of kernels. */
+Inputs
+makeInputs(uint64_t n, uint64_t seed = 0x5eedf00d)
+{
+    Rng rng(seed);
+    Inputs in;
+    uint64_t idx = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        uint32_t kernel = (uint32_t)(rng.next() % 12);
+        gtpin::DispatchProfile p;
+        p.seq = i;
+        p.kernelId = kernel;
+        p.kernelName = "suite_kernel_" + std::to_string(kernel);
+        p.globalWorkSize = 64 << (kernel % 4);
+        p.argsHash = rng.next();
+        size_t blocks = 2 + kernel % 4;
+        p.blockCounts.resize(blocks);
+        p.blockLens.resize(blocks);
+        p.blockReadBytes.resize(blocks);
+        p.blockWriteBytes.resize(blocks);
+        for (size_t b = 0; b < blocks; ++b) {
+            p.blockCounts[b] = rng.next() % 5000;
+            p.blockLens[b] = 4 + (uint32_t)(rng.next() % 12);
+            p.instrs += p.blockCounts[b] * p.blockLens[b];
+            p.blockReadBytes[b] = (uint32_t)(rng.next() % 512);
+            p.blockWriteBytes[b] = (uint32_t)(rng.next() % 512);
+            p.bytesRead += p.blockCounts[b] * p.blockReadBytes[b];
+            p.bytesWritten += p.blockCounts[b] * p.blockWriteBytes[b];
+        }
+        in.profiles.push_back(std::move(p));
+
+        cfl::KernelTiming t;
+        t.seq = i;
+        t.kernelName = in.profiles.back().kernelName;
+        t.seconds = (double)(rng.next() >> 11) * 0x1.0p-53 * 1e-3;
+        in.timings.push_back(t);
+
+        ocl::ApiCallRecord call;
+        call.callIndex = idx++;
+        call.id = ocl::ApiCallId::EnqueueNDRangeKernel;
+        call.dispatchSeq = i;
+        in.calls.push_back(call);
+        if (rng.next() % 7 == 0) {
+            ocl::ApiCallRecord sync;
+            sync.callIndex = idx++;
+            sync.id = ocl::ApiCallId::Finish;
+            in.calls.push_back(sync);
+        }
+    }
+    return in;
+}
+
+void
+expectSameDb(const TraceDatabase &got, const TraceDatabase &want)
+{
+    ASSERT_EQ(got.numDispatches(), want.numDispatches());
+    EXPECT_EQ(got.totalInstrs(), want.totalInstrs());
+    EXPECT_EQ(got.totalSeconds(), want.totalSeconds());
+    EXPECT_EQ(got.numSyncEpochs(), want.numSyncEpochs());
+    for (uint64_t d = 0; d < got.numDispatches(); ++d) {
+        EXPECT_EQ(got.profileAt(d).instrs, want.profileAt(d).instrs);
+        EXPECT_EQ(got.seconds(d), want.seconds(d));
+        EXPECT_EQ(got.syncEpoch(d), want.syncEpoch(d));
+    }
+}
+
+void
+expectSameIntervals(const std::vector<Interval> &got,
+                    const std::vector<Interval> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].firstDispatch, want[i].firstDispatch);
+        EXPECT_EQ(got[i].lastDispatch, want[i].lastDispatch);
+        EXPECT_EQ(got[i].instrs, want[i].instrs);
+        EXPECT_EQ(got[i].seconds, want[i].seconds);
+    }
+}
+
+void
+expectSameSelection(const core::SubsetSelection &got,
+                    const core::SubsetSelection &want)
+{
+    expectSameIntervals(got.intervals, want.intervals);
+    EXPECT_EQ(got.selected, want.selected);
+    ASSERT_EQ(got.ratios.size(), want.ratios.size());
+    for (size_t i = 0; i < got.ratios.size(); ++i)
+        EXPECT_EQ(got.ratios[i], want.ratios[i]);
+    EXPECT_EQ(got.selectedInstrs, want.selectedInstrs);
+    EXPECT_EQ(got.totalInstrs, want.totalInstrs);
+}
+
+/** Feed @p in into @p consume(call) / @p row(d) in API-call order:
+ * every call observed, each dispatch delivered right after its
+ * Kernel call — the arrival order a draining replay produces. */
+template <typename CallFn, typename RowFn>
+void
+streamInputs(const Inputs &in, CallFn &&consume, RowFn &&row)
+{
+    for (const ocl::ApiCallRecord &call : in.calls) {
+        consume(call);
+        if (call.id == ocl::ApiCallId::EnqueueNDRangeKernel)
+            row(call.dispatchSeq);
+    }
+}
+
+// ---------------------------------------------------------------
+// Streaming TraceDatabase::Builder vs. batch build().
+
+TEST(ServeBuilder, SealMatchesBatchBuildAtEveryChunk)
+{
+    const uint64_t n = 300;
+    Inputs in = makeInputs(n);
+    for (uint64_t chunk : {uint64_t(1), uint64_t(3), uint64_t(256)}) {
+        TraceDatabase::Builder builder;
+        uint64_t calls_seen = 0;
+        streamInputs(
+            in,
+            [&](const ocl::ApiCallRecord &c) {
+                builder.observeCall(c);
+                ++calls_seen;
+            },
+            [&](uint64_t d) {
+                builder.append(in.profiles[d], in.timings[d]);
+                if ((d + 1) % chunk != 0 && d + 1 != n)
+                    return;
+                // Batch-join the same prefix: every call issued so
+                // far, every dispatch drained so far.
+                TraceDatabase want = TraceDatabase::build(
+                    {in.profiles.begin(),
+                     in.profiles.begin() + (long)(d + 1)},
+                    {in.timings.begin(),
+                     in.timings.begin() + (long)(d + 1)},
+                    {in.calls.begin(),
+                     in.calls.begin() + (long)calls_seen});
+                expectSameDb(builder.seal(), want);
+            });
+    }
+}
+
+// ---------------------------------------------------------------
+// Incremental interval division vs. buildIntervals(), 3 schemes x
+// feed granularities {1, 3, 256}.
+
+struct IntervalCase
+{
+    IntervalScheme scheme;
+    uint64_t target;
+};
+
+class IncrementalIntervalTest
+    : public ::testing::TestWithParam<IntervalCase>
+{
+};
+
+TEST_P(IncrementalIntervalTest, AppendMatchesBatchAtEveryChunk)
+{
+    const IntervalCase param = GetParam();
+    const uint64_t n = 300;
+    Inputs in = makeInputs(n);
+
+    for (uint64_t chunk : {uint64_t(1), uint64_t(3), uint64_t(256)}) {
+        TraceDatabase::Builder builder;
+        core::IncrementalIntervals inc(param.scheme, param.target);
+        std::vector<Interval> prev;
+        size_t prev_completed = 0;
+        streamInputs(
+            in,
+            [&](const ocl::ApiCallRecord &c) {
+                builder.observeCall(c);
+            },
+            [&](uint64_t d) {
+                builder.append(in.profiles[d], in.timings[d]);
+                inc.append(builder.syncEpoch(d),
+                           in.profiles[d].instrs,
+                           in.timings[d].seconds);
+                if ((d + 1) % chunk != 0 && d + 1 != n)
+                    return;
+                std::vector<Interval> got = inc.snapshot();
+                expectSameIntervals(
+                    got, core::buildIntervals(builder.seal(),
+                                              param.scheme,
+                                              param.target));
+                // Completed intervals are final: the previous
+                // snapshot's completed prefix reappears unchanged.
+                ASSERT_LE(inc.numCompleted(), got.size());
+                ASSERT_LE(prev_completed, inc.numCompleted());
+                for (size_t i = 0; i < prev_completed; ++i) {
+                    EXPECT_EQ(prev[i].lastDispatch,
+                              got[i].lastDispatch);
+                    EXPECT_EQ(prev[i].instrs, got[i].instrs);
+                }
+                prev = std::move(got);
+                prev_completed = inc.numCompleted();
+            });
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndTargets, IncrementalIntervalTest,
+    ::testing::Values(
+        IntervalCase{IntervalScheme::SyncBounded, 0},
+        IntervalCase{IntervalScheme::ApproxInstructions, 0},
+        IntervalCase{IntervalScheme::ApproxInstructions, 40000},
+        IntervalCase{IntervalScheme::SingleKernel, 0}));
+
+// ---------------------------------------------------------------
+// Incremental feature columns vs. batch construction.
+
+TEST(ServeFeatures, StreamingCacheMatchesBatch)
+{
+    const uint64_t n = 200;
+    Inputs in = makeInputs(n);
+    TraceDatabase db = TraceDatabase::build(in.profiles, in.timings,
+                                            in.calls);
+
+    core::DispatchFeatureCache batch(db);
+    core::DispatchFeatureCache inc;
+    for (uint64_t d = 0; d < n; ++d) {
+        inc.appendDispatch(db.profileAt(d));
+        if (d % 17 == 0)
+            inc.refreshColumns(); // must not disturb later appends
+    }
+    inc.refreshColumns();
+    ASSERT_EQ(inc.uniqueKeys(), batch.uniqueKeys());
+
+    auto intervals =
+        core::buildIntervals(db, IntervalScheme::SyncBounded);
+    core::simpoint::ProjectionTable table =
+        core::simpoint::ProjectionTable::build(batch.uniqueKeys());
+    core::DispatchFeatureCache::Scratch sa, sb;
+    for (const Interval &iv : intervals) {
+        for (int k = 0; k < core::numFeatureKinds; ++k) {
+            core::FeatureKind kind = (core::FeatureKind)k;
+            EXPECT_EQ(inc.extract(iv, kind, sa).values(),
+                      batch.extract(iv, kind, sb).values());
+            EXPECT_EQ(inc.projectInto(iv, kind, sa, table),
+                      batch.projectInto(iv, kind, sb, table));
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Memoized refresh building blocks.
+
+TEST(ServeSimpoint, ProjectionTableReuseIsBitwise)
+{
+    Rng rng(0xab1e);
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < 80; ++i)
+        keys.push_back(rng.next());
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    std::vector<uint64_t> prefix(keys.begin(),
+                                 keys.begin() + keys.size() / 2);
+    using core::simpoint::ProjectionTable;
+    ProjectionTable fresh = ProjectionTable::build(keys);
+    ProjectionTable reused =
+        ProjectionTable::build(keys, ProjectionTable::build(prefix));
+    ASSERT_EQ(reused.size(), fresh.size());
+    for (uint64_t key : keys) {
+        ASSERT_NE(reused.row(key), nullptr);
+        EXPECT_EQ(*reused.row(key), *fresh.row(key));
+    }
+}
+
+TEST(ServeSimpoint, ExtendUniqueIndexMatchesFreshBuild)
+{
+    using core::simpoint::projectedDims;
+    // Heavily duplicated population: 9 distinct rows over 240
+    // points, exactly the shape interval features produce.
+    Rng rng(0xd0b1);
+    std::vector<core::simpoint::Point> distinct(9);
+    for (auto &p : distinct) {
+        for (double &v : p)
+            v = (double)(rng.next() % 1000) / 17.0;
+    }
+    const size_t n = 240;
+    std::vector<double> flat(n * projectedDims);
+    for (size_t i = 0; i < n; ++i) {
+        const auto &p = distinct[rng.next() % distinct.size()];
+        std::copy(p.begin(), p.end(),
+                  flat.begin() + (long)(i * projectedDims));
+    }
+
+    using core::simpoint::UniqueIndex;
+    for (size_t n_base : {size_t(0), size_t(1), size_t(100), n}) {
+        UniqueIndex base =
+            core::simpoint::buildUniqueIndex(flat.data(), n_base);
+        UniqueIndex ext = core::simpoint::extendUniqueIndex(
+            base, flat.data(), n_base, n);
+        UniqueIndex want =
+            core::simpoint::buildUniqueIndex(flat.data(), n);
+        EXPECT_EQ(ext.uid, want.uid);
+        EXPECT_EQ(ext.count, want.count);
+        // rep may name a different member, but always one carrying
+        // the identical row value.
+        ASSERT_EQ(ext.rep.size(), want.rep.size());
+        for (size_t g = 0; g < ext.rep.size(); ++g) {
+            const double *a = flat.data() + ext.rep[g] * projectedDims;
+            const double *b =
+                flat.data() + want.rep[g] * projectedDims;
+            for (int dim = 0; dim < projectedDims; ++dim)
+                EXPECT_EQ(a[dim], b[dim]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Incremental selection refresh vs. one-shot selectSubset().
+
+/** Refresh at every @p cadence dispatches and at the end; after each
+ * refresh, every configured selection must equal a one-shot batch
+ * selection over a database sealed at the same prefix. */
+void
+runRefreshCadence(const Inputs &in, uint64_t cadence,
+                  sched::ThreadPool &pool)
+{
+    ServiceConfig cfg;
+    WorkloadSession session("synthetic", cfg, pool);
+    uint64_t fed = 0;
+    streamInputs(
+        in,
+        [&](const ocl::ApiCallRecord &c) { session.observeCall(c); },
+        [&](uint64_t d) {
+            session.addDispatch(in.profiles[d], in.timings[d]);
+            if (++fed % cadence != 0 && d + 1 != in.profiles.size())
+                return;
+            session.refresh();
+            TraceDatabase db = session.sealDatabase();
+            for (size_t c = 0; c < cfg.selections.size(); ++c) {
+                const SelectionConfig &sc = cfg.selections[c];
+                expectSameSelection(
+                    session.selection(c),
+                    core::selectSubset(db, sc.scheme, sc.feature,
+                                       cfg.cluster,
+                                       cfg.targetInstrs));
+            }
+        });
+    SessionStats stats = session.stats();
+    EXPECT_EQ(stats.dispatches, in.profiles.size());
+    EXPECT_GT(stats.reclustered, 0u);
+}
+
+TEST(ServeSession, RefreshMatchesOneShotAtEveryCadence)
+{
+    Inputs in = makeInputs(240);
+    sched::ThreadPool pool(1);
+    for (uint64_t cadence : {uint64_t(61), uint64_t(240)})
+        runRefreshCadence(in, cadence, pool);
+}
+
+TEST(ServeSession, RefreshIsPoolWidthInvariant)
+{
+    Inputs in = makeInputs(160);
+    ServiceConfig cfg;
+    std::vector<core::SubsetSelection> want;
+    for (unsigned width : {1u, 4u}) {
+        sched::ThreadPool pool(width);
+        WorkloadSession session("synthetic", cfg, pool);
+        streamInputs(in,
+                     [&](const ocl::ApiCallRecord &c) {
+                         session.observeCall(c);
+                     },
+                     [&](uint64_t d) {
+                         session.addDispatch(in.profiles[d],
+                                             in.timings[d]);
+                     });
+        session.refresh();
+        for (size_t c = 0; c < cfg.selections.size(); ++c) {
+            if (width == 1)
+                want.push_back(session.selection(c));
+            else
+                expectSameSelection(session.selection(c), want[c]);
+        }
+    }
+}
+
+TEST(ServeSession, MemoizedRefreshSkipsUnchangedConfigs)
+{
+    Inputs in = makeInputs(120);
+    sched::ThreadPool pool(1);
+    ServiceConfig cfg;
+    WorkloadSession session("synthetic", cfg, pool);
+    streamInputs(in,
+                 [&](const ocl::ApiCallRecord &c) {
+                     session.observeCall(c);
+                 },
+                 [&](uint64_t d) {
+                     session.addDispatch(in.profiles[d],
+                                         in.timings[d]);
+                 });
+    session.refresh();
+    SessionStats after_first = session.stats();
+    EXPECT_EQ(after_first.reclustered, cfg.selections.size());
+    EXPECT_EQ(after_first.reusedSelections, 0u);
+
+    // No new dispatches: the second refresh answers every config
+    // from the memo, and the selections are the same objects.
+    std::vector<core::SubsetSelection> before;
+    for (size_t c = 0; c < cfg.selections.size(); ++c)
+        before.push_back(session.selection(c));
+    session.refresh();
+    SessionStats after_second = session.stats();
+    EXPECT_EQ(after_second.reclustered, cfg.selections.size());
+    EXPECT_EQ(after_second.reusedSelections, cfg.selections.size());
+    for (size_t c = 0; c < cfg.selections.size(); ++c)
+        expectSameSelection(session.selection(c), before[c]);
+}
+
+// ---------------------------------------------------------------
+// The full service on a real recorded application.
+
+const core::ProfiledApp &
+gaussianApp()
+{
+    static const core::ProfiledApp app = core::profileApp(
+        *workloads::findWorkload("cb-gaussian-image"));
+    return app;
+}
+
+TEST(ServeService, ReplayedSessionMatchesOneShot)
+{
+    const core::ProfiledApp &app = gaussianApp();
+    ProfilingService service;
+    auto tenant = service.openTenant("t0");
+    auto wl = service.submit(tenant, app.name, app.recording);
+    service.drain();
+    service.refreshAll();
+
+    WorkloadSession &session = service.session(tenant, wl);
+    EXPECT_EQ(session.numDispatches(), app.db.numDispatches());
+    TraceDatabase db = session.sealDatabase();
+    expectSameDb(db, app.db);
+
+    const ServiceConfig &cfg = service.config();
+    for (size_t c = 0; c < cfg.selections.size(); ++c) {
+        const SelectionConfig &sc = cfg.selections[c];
+        expectSameSelection(
+            session.selection(c),
+            core::selectSubset(db, sc.scheme, sc.feature,
+                               cfg.cluster, cfg.targetInstrs));
+    }
+}
+
+TEST(ServeService, IdenticalRecordingsShareReplayArtifacts)
+{
+    const core::ProfiledApp &app = gaussianApp();
+    ProfilingService service;
+    auto t0 = service.openTenant("t0");
+    auto t1 = service.openTenant("t1");
+    auto w0 = service.submit(t0, app.name, app.recording);
+    auto w1 = service.submit(t1, app.name, app.recording);
+    service.drain();
+    service.refreshAll();
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.tenants, 2u);
+    EXPECT_EQ(stats.workloads, 2u);
+    EXPECT_EQ(stats.replays, 1u);
+    EXPECT_EQ(stats.artifactHits, 1u);
+    EXPECT_GT(stats.planCache.builds, 0u);
+
+    // The artifact-fed session is indistinguishable from the
+    // replayed one.
+    WorkloadSession &a = service.session(t0, w0);
+    WorkloadSession &b = service.session(t1, w1);
+    expectSameDb(a.sealDatabase(), b.sealDatabase());
+    for (size_t c = 0; c < service.config().selections.size(); ++c)
+        expectSameSelection(a.selection(c), b.selection(c));
+}
+
+TEST(ServeService, ConcurrentTenantsAgreeBitwise)
+{
+    const core::ProfiledApp &app = gaussianApp();
+    sched::ThreadPool pool(4);
+    ServiceConfig cfg;
+    cfg.pool = &pool;
+    ProfilingService service(cfg);
+
+    const unsigned tenants = 6;
+    std::vector<ProfilingService::TenantId> ids;
+    for (unsigned t = 0; t < tenants; ++t) {
+        ids.push_back(
+            service.openTenant("t" + std::to_string(t)));
+        service.submit(ids.back(), app.name, app.recording);
+    }
+    service.drain();
+    service.refreshAll();
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.replays + stats.artifactHits, (uint64_t)tenants);
+    EXPECT_GE(stats.artifactHits, 1u);
+
+    WorkloadSession &first = service.session(ids[0], 0);
+    for (unsigned t = 1; t < tenants; ++t) {
+        WorkloadSession &other = service.session(ids[t], 0);
+        EXPECT_EQ(other.numDispatches(), first.numDispatches());
+        for (size_t c = 0; c < cfg.selections.size(); ++c)
+            expectSameSelection(other.selection(c),
+                                first.selection(c));
+    }
+}
+
+// ---------------------------------------------------------------
+// Shared content-addressed caches.
+
+TEST(ServeCaches, PlanCacheSharesAcrossDrivers)
+{
+    const core::ProfiledApp &app = gaussianApp();
+    gpu::SharedPlanCache plans(gpu::DeviceConfig::hd4000());
+    gpu::SharedCheckpointCache ckpts;
+
+    auto replayWithSharedCaches = [&]() {
+        workloads::TemplateJit jit;
+        ocl::GpuDriver driver(gpu::DeviceConfig::hd4000(), jit, {});
+        driver.setSharedCaches(&plans, &ckpts);
+        gtpin::KernelProfileTool profile_tool;
+        gtpin::GtPin pin;
+        pin.addTool(&profile_tool);
+        pin.attach(driver);
+        ocl::ClRuntime runtime(driver);
+        cfl::replay(app.recording, runtime);
+        pin.detach();
+        return profile_tool.takeProfiles();
+    };
+
+    auto first = replayWithSharedCaches();
+    gpu::SharedCacheStats cold = plans.stats();
+    EXPECT_GT(cold.builds, 0u);
+    EXPECT_GT(cold.misses, 0u);
+
+    auto second = replayWithSharedCaches();
+    gpu::SharedCacheStats warm = plans.stats();
+    // Same kernels: the second driver builds nothing and hits for
+    // every plan the first one published.
+    EXPECT_EQ(warm.builds, cold.builds);
+    EXPECT_GT(warm.hits, cold.hits);
+
+    // Adopted plans change nothing observable about execution.
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t d = 0; d < first.size(); ++d) {
+        EXPECT_EQ(first[d].instrs, second[d].instrs);
+        EXPECT_EQ(first[d].blockCounts, second[d].blockCounts);
+        EXPECT_EQ(first[d].bytesRead, second[d].bytesRead);
+        EXPECT_EQ(first[d].bytesWritten, second[d].bytesWritten);
+    }
+}
+
+TEST(ServeCaches, PlanCacheConcurrentLookupsAreExact)
+{
+    gpu::SharedPlanCache cache(gpu::DeviceConfig::hd4000());
+    const unsigned threads = 4;
+    const uint64_t keys = 16, iters = 400;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&cache, t]() {
+            Rng rng(0xc0ffee + t);
+            for (uint64_t i = 0; i < iters; ++i) {
+                uint64_t key = rng.next() % keys;
+                auto plan = cache.find(key);
+                if (!plan) {
+                    auto built = std::make_shared<gpu::ExecPlan>();
+                    built->numInstrs = key;
+                    plan = cache.insert(key, std::move(built));
+                }
+                // Never a torn or foreign artifact.
+                ASSERT_EQ(plan->numInstrs, key);
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+
+    gpu::SharedCacheStats stats = cache.stats();
+    EXPECT_EQ(cache.size(), keys);
+    // First insert wins exactly once per key...
+    EXPECT_EQ(stats.builds, keys);
+    // ...and every lookup is accounted for.
+    EXPECT_EQ(stats.hits + stats.misses, threads * iters);
+}
+
+TEST(ServeCaches, CheckpointCacheConcurrentLookupsAreExact)
+{
+    gpu::SharedCheckpointCache cache;
+    isa::KernelBinary binary;
+    binary.name = "ckpt_test_kernel";
+
+    const unsigned threads = 4;
+    const uint64_t keys = 8, iters = 200;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&]() {
+            for (uint64_t i = 0; i < iters; ++i) {
+                gpu::SharedCheckpointCache::Key key;
+                key.binaryHash = 0x1234;
+                key.globalSize = 64 << (i % keys);
+                key.simdWidth = 16;
+                auto ckpt = cache.find(key);
+                if (!ckpt) {
+                    gpu::DetailedCheckpoint built;
+                    built.numThreads = key.globalSize / 16;
+                    built.truncation = 1.0;
+                    ckpt = cache.insert(key, built, binary);
+                }
+                ASSERT_EQ(ckpt->numThreads, key.globalSize / 16);
+                // The stored copy points at the cache's interned
+                // clone, never at tenant-owned state.
+                ASSERT_NE(ckpt->binary, nullptr);
+                ASSERT_NE(ckpt->binary, &binary);
+                EXPECT_EQ(ckpt->binary->name, binary.name);
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+
+    gpu::SharedCacheStats stats = cache.stats();
+    EXPECT_EQ(cache.size(), keys);
+    EXPECT_EQ(stats.builds, keys);
+    EXPECT_EQ(stats.hits + stats.misses, threads * iters);
+}
+
+} // anonymous namespace
+} // namespace gt::serve
