@@ -150,6 +150,24 @@ DispatchFeatureCache::refreshColumns()
     ranksStale = false;
 }
 
+uint64_t
+DispatchFeatureCache::memoryBytes() const
+{
+    uint64_t bytes = sizeof(*this);
+    for (const Stream &stream : streams) {
+        bytes += stream.offsets.size() * sizeof(uint64_t);
+        bytes += stream.cols.size() * sizeof(uint32_t);
+        bytes += stream.values.size() * sizeof(double);
+    }
+    // Hash-node estimate for the intern map: pair plus bucket link.
+    bytes += idOf.size() * (sizeof(uint64_t) + sizeof(uint32_t) +
+                            2 * sizeof(void *));
+    bytes += internKeys.size() * sizeof(uint64_t);
+    bytes += rankOf.size() * sizeof(uint32_t);
+    bytes += colKeys.size() * sizeof(uint64_t);
+    return bytes;
+}
+
 std::array<DispatchFeatureCache::StreamId, 3>
 DispatchFeatureCache::streamsFor(FeatureKind kind, int &count)
 {

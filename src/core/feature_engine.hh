@@ -108,6 +108,11 @@ class DispatchFeatureCache
 
     size_t numKeys() const { return colKeys.size(); }
 
+    /** Approximate resident bytes of the lowered streams and intern
+     * tables — what session eviction reclaims (deterministic element
+     * sums, not allocator truth). */
+    uint64_t memoryBytes() const;
+
     /**
      * Reusable per-caller accumulation state for extract(). One
      * Scratch may be reused across many extract() calls (that is the

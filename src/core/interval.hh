@@ -128,6 +128,18 @@ class IncrementalIntervals
         return completed.size();
     }
 
+    /** Approximate resident bytes: closed intervals plus the
+     * retained rescan columns (the dominant term for approx with
+     * target 0). */
+    uint64_t
+    memoryBytes() const
+    {
+        return sizeof(*this) + completed.size() * sizeof(Interval) +
+               epochCol.size() * sizeof(uint64_t) +
+               instrCol.size() * sizeof(uint64_t) +
+               secondsCol.size() * sizeof(double);
+    }
+
   private:
     std::vector<Interval> rescan(uint64_t target) const;
 

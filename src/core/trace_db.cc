@@ -64,6 +64,27 @@ TraceDatabase::build(std::vector<gtpin::DispatchProfile> profiles,
     return std::move(builder).seal(backend, block_size);
 }
 
+TraceDatabase
+TraceDatabase::openColumnarFile(const std::string &path)
+{
+    TraceDatabase db;
+    db.kind = TraceDbBackend::Columnar;
+    db.store = trace_store::ColumnarStore::openFile(path);
+    db.count = db.store->numDispatches();
+    db.instrTotal = db.store->totalInstrs();
+    // Left-to-right over the raw double column — the identical FP
+    // order the builder accumulated secondsTotal in, so the reopened
+    // totals (and the cached SPI quotient) carry the same bits.
+    const double *col = db.store->secondsData();
+    for (uint64_t i = 0; i < db.count; ++i)
+        db.secondsTotal += col[i];
+    if (db.count > 0)
+        db.syncEpochs = db.store->syncEpoch(db.count - 1) + 1;
+    if (db.instrTotal > 0)
+        db.spiCached = db.secondsTotal / (double)db.instrTotal;
+    return db;
+}
+
 void
 TraceDatabase::Builder::observeCall(const ocl::ApiCallRecord &call)
 {
@@ -93,15 +114,29 @@ TraceDatabase::Builder::append(gtpin::DispatchProfile profile,
     GT_ASSERT(profile.seq == timing.seq,
               "profile/timing sequence mismatch at index ",
               records.size());
+    auto it = epochOf.find(profile.seq);
+    GT_ASSERT(it != epochOf.end(),
+              "dispatch ", profile.seq,
+              " missing from the host call stream");
+    uint64_t sync_epoch = it->second;
+    // The entry is consumed exactly once (seqs ascend), so pruning
+    // it keeps the walk map at O(in-flight dispatches) instead of
+    // O(history) — what makes walkState() cheap to keep resident
+    // across a session eviction.
+    epochOf.erase(it);
+    appendJoined(std::move(profile), timing.seconds, sync_epoch);
+}
+
+void
+TraceDatabase::Builder::appendJoined(gtpin::DispatchProfile profile,
+                                     double seconds,
+                                     uint64_t sync_epoch)
+{
     DispatchRecord rec;
     rec.profile = std::move(profile);
     rec.profile.checkShape();
-    rec.seconds = timing.seconds;
-    auto it = epochOf.find(rec.profile.seq);
-    GT_ASSERT(it != epochOf.end(),
-              "dispatch ", rec.profile.seq,
-              " missing from the host call stream");
-    rec.syncEpoch = it->second;
+    rec.seconds = seconds;
+    rec.syncEpoch = sync_epoch;
 
     // Dispatches must arrive in order with monotone epochs.
     if (!records.empty()) {
@@ -119,6 +154,62 @@ TraceDatabase::Builder::append(gtpin::DispatchProfile profile,
     instrPrefix.push_back(instrPrefix.back() + rec.profile.instrs);
     secondsCol.push_back(rec.seconds);
     records.push_back(std::move(rec));
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+TraceDatabase::Builder::assignEpochs(
+    const std::vector<ocl::ApiCallRecord> &calls)
+{
+    Builder walk;
+    for (const ocl::ApiCallRecord &call : calls)
+        walk.observeCall(call);
+    // epochOf is keyed by seq, so map order is the ascending seq
+    // order appends consume assignments in.
+    return {walk.epochOf.begin(), walk.epochOf.end()};
+}
+
+TraceDatabase::Builder::EpochWalk
+TraceDatabase::Builder::walkState() const
+{
+    EpochWalk walk;
+    walk.pending = epochOf;
+    walk.epoch = epoch;
+    walk.hasWork = epochHasWork;
+    return walk;
+}
+
+void
+TraceDatabase::Builder::restoreWalk(EpochWalk walk)
+{
+    epochOf = std::move(walk.pending);
+    epoch = walk.epoch;
+    epochHasWork = walk.hasWork;
+}
+
+uint64_t
+TraceDatabase::Builder::memoryBytes() const
+{
+    uint64_t bytes = sizeof(*this);
+    bytes += records.size() * sizeof(DispatchRecord);
+    for (const DispatchRecord &rec : records) {
+        bytes += rec.profile.footprintBytes() -
+                 sizeof(gtpin::DispatchProfile);
+    }
+    bytes += instrPrefix.size() * sizeof(uint64_t);
+    bytes += secondsCol.size() * sizeof(double);
+    // Red-black tree node overhead dominates the pending walk map.
+    bytes += epochOf.size() * (sizeof(std::pair<uint64_t, uint64_t>) +
+                               4 * sizeof(void *));
+    return bytes;
+}
+
+void
+TraceDatabase::Builder::writeArchive(const std::string &path,
+                                     uint32_t block_size) const
+{
+    trace_store::ColumnarOptions options;
+    options.blockSize = block_size;
+    trace_store::ColumnarStore::writeFile(records, path, options);
 }
 
 TraceDatabase

@@ -138,6 +138,15 @@ class TraceDatabase
           TraceDbBackend backend = defaultTraceDbBackend(),
           uint32_t block_size = trace_store::defaultBlockSize);
 
+    /**
+     * Open a persistent columnar archive written by
+     * Builder::writeArchive(). The totals are recomputed from the
+     * mapped columns in the same left-to-right order build()
+     * accumulated them, so the result is bitwise identical to the
+     * database that was archived.
+     */
+    static TraceDatabase openColumnarFile(const std::string &path);
+
     TraceDbBackend backend() const { return kind; }
 
     uint64_t numDispatches() const { return count; }
@@ -234,6 +243,22 @@ class TraceDatabase
 class TraceDatabase::Builder
 {
   public:
+    /**
+     * The synchronization-epoch walk's restart state: the epoch
+     * counter, whether the open epoch saw kernel work, and the
+     * pending (observed Kernel call, dispatch not yet drained)
+     * assignments. Appended dispatches consume their entry, so this
+     * stays O(in-flight dispatches), not O(history) — it is the only
+     * builder state an evicted session must keep resident to resume
+     * its call stream after rehydration.
+     */
+    struct EpochWalk
+    {
+        std::map<uint64_t, uint64_t> pending;
+        uint64_t epoch = 0;
+        bool hasWork = false;
+    };
+
     /** Advance the epoch walk over one host API call. Kernel calls
      * must be observed before the dispatch they issue is appended. */
     void observeCall(const ocl::ApiCallRecord &call);
@@ -242,6 +267,32 @@ class TraceDatabase::Builder
      * arrive in dispatch order with its Kernel call observed. */
     void append(gtpin::DispatchProfile profile,
                 const cfl::KernelTiming &timing);
+
+    /**
+     * Join one already-epoch-assigned dispatch, bypassing the epoch
+     * walk. The totals accumulate exactly as append() does, so a
+     * builder re-fed from an archived database (rehydration) or from
+     * a cached replay artifact (the warm admission path) is bitwise
+     * identical to one that joined the live stream.
+     */
+    void appendJoined(gtpin::DispatchProfile profile, double seconds,
+                      uint64_t sync_epoch);
+
+    /**
+     * Run the epoch walk over a complete call stream once, returning
+     * (dispatch seq, epoch) pairs in ascending seq order — the
+     * assignments append() would have produced. Computed once per
+     * replay artifact so warm submissions skip the per-dispatch walk
+     * entirely.
+     */
+    static std::vector<std::pair<uint64_t, uint64_t>>
+    assignEpochs(const std::vector<ocl::ApiCallRecord> &calls);
+
+    /** Snapshot the epoch walk (see EpochWalk). */
+    EpochWalk walkState() const;
+
+    /** Restore a walk snapshot taken by walkState(). */
+    void restoreWalk(EpochWalk walk);
 
     /** Dispatches appended so far. */
     uint64_t numAppended() const { return records.size(); }
@@ -282,6 +333,22 @@ class TraceDatabase::Builder
             acc += secondsCol[i];
         return acc;
     }
+
+    /** Resident bytes of the builder: joined records (including the
+     * profiles' heap), the prefix/seconds columns, and the pending
+     * epoch walk. What session eviction reclaims. */
+    uint64_t memoryBytes() const;
+
+    /**
+     * Write everything appended so far to a persistent named
+     * columnar archive at @p path (same format as the spill files,
+     * but kept). TraceDatabase::openColumnarFile() reopens it;
+     * re-feeding a builder from the reopened archive reproduces this
+     * builder's joined state bit for bit.
+     */
+    void writeArchive(const std::string &path,
+                      uint32_t block_size =
+                          trace_store::defaultBlockSize) const;
 
     /**
      * Produce the database for everything appended so far; the

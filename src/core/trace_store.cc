@@ -13,6 +13,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "common/varint.hh"
@@ -211,14 +212,75 @@ struct ThreadCache
 {
     std::array<CacheSlot, numCacheSlots> slots;
     uint64_t tick = 0;
+    /** Last store-close generation this thread swept at. */
+    uint64_t sweptGen = 0;
 };
 
 thread_local ThreadCache tlsCache;
+
+/**
+ * Live-store registry: ids of every mapped store, plus a generation
+ * counter bumped at each destruction. Threads compare the counter
+ * (one relaxed atomic load per cache access) and only take the
+ * registry mutex when a store died since their last sweep, dropping
+ * slots whose owner is gone — stale slots would otherwise pin freed
+ * mappings' decoded blocks for the thread's lifetime.
+ */
+std::mutex registryMutex;
+std::vector<uint64_t> liveStores;
+std::atomic<uint64_t> closeGeneration{0};
+
+void
+registerStore(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    liveStores.push_back(id);
+}
+
+void
+deregisterStore(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    liveStores.erase(
+        std::remove(liveStores.begin(), liveStores.end(), id),
+        liveStores.end());
+    closeGeneration.fetch_add(1, std::memory_order_release);
+}
+
+/** Drop this thread's slots owned by destroyed stores. Cheap when
+ * nothing died: one relaxed load, no lock. */
+void
+sweepDeadSlots(ThreadCache &tc)
+{
+    if (closeGeneration.load(std::memory_order_acquire) ==
+        tc.sweptGen)
+        return;
+    std::lock_guard<std::mutex> lock(registryMutex);
+    for (CacheSlot &slot : tc.slots) {
+        if (slot.store == 0)
+            continue;
+        bool alive = std::find(liveStores.begin(), liveStores.end(),
+                               slot.store) != liveStores.end();
+        if (!alive) {
+            slot.store = 0;
+            slot.bytes = 0;
+            slot.lastUse = 0;
+            slot.prefix.clear();
+            slot.prefix.shrink_to_fit();
+            slot.profs.clear();
+            slot.profs.shrink_to_fit();
+        }
+    }
+    // Read under the same lock the destructor bumps it under, so a
+    // sweep can never record a generation it has not acted on.
+    tc.sweptGen = closeGeneration.load(std::memory_order_relaxed);
+}
 
 CacheSlot *
 findSlot(uint64_t store, uint64_t block, bool profiles)
 {
     ThreadCache &tc = tlsCache;
+    sweepDeadSlots(tc);
     ++tc.tick;
     for (CacheSlot &slot : tc.slots) {
         if (slot.store == store && slot.block == block &&
@@ -359,6 +421,8 @@ ColumnarStore::openFile(const std::string &path)
 
 ColumnarStore::~ColumnarStore()
 {
+    if (storeId != 0)
+        deregisterStore(storeId);
     if (map)
         ::munmap((void *)map, mapLen);
 }
@@ -367,6 +431,7 @@ void
 ColumnarStore::load(const std::string &what)
 {
     storeId = nextStoreId.fetch_add(1);
+    registerStore(storeId);
 
     GT_ASSERT(mapLen >= sizeof(FileHeader),
               what, ": mapping smaller than the header");
@@ -562,6 +627,10 @@ ColumnarStore::instrPrefixAt(uint64_t i) const
     slot.store = storeId;
     slot.block = block;
     slot.profiles = false;
+    // Key the decode as used *now*: a fresh slot left at lastUse 0
+    // would tie with the empty slots and be the next eviction
+    // victim, evicting the hottest block instead of the coldest.
+    slot.lastUse = tlsCache.tick;
     return slot.prefix[idx];
 }
 
@@ -592,6 +661,7 @@ ColumnarStore::profileAt(uint64_t i) const
     slot.store = storeId;
     slot.block = block;
     slot.profiles = true;
+    slot.lastUse = tlsCache.tick;
     return slot.profs[idx];
 }
 
@@ -624,6 +694,17 @@ ColumnarStore::cacheBytesThisThread() const
         if (slot.store == storeId)
             bytes += slot.bytes;
     }
+    return bytes;
+}
+
+uint64_t
+threadCacheResidentBytes()
+{
+    ThreadCache &tc = tlsCache;
+    sweepDeadSlots(tc);
+    uint64_t bytes = 0;
+    for (const CacheSlot &slot : tc.slots)
+        bytes += slot.bytes;
     return bytes;
 }
 

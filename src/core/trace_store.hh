@@ -63,6 +63,15 @@ struct ColumnarOptions
 };
 
 /**
+ * Decoded-block bytes currently held by the *calling thread's* cache
+ * for stores that are still alive. Dead stores' slots are swept
+ * first (see the invalidation note on ColumnarStore), so the figure
+ * never counts pinned garbage — the profiling service's footprint
+ * accounting and the eviction tests read this.
+ */
+uint64_t threadCacheResidentBytes();
+
+/**
  * One immutable columnar trace file, mapped read-only.
  *
  * Thread safety: all accessors are const and touch only the
@@ -74,6 +83,12 @@ struct ColumnarOptions
  * calling thread's decoded-block cache; it stays valid until that
  * thread accesses several (>= the cache's slot count) *other*
  * blocks. Copy the profile to hold it longer.
+ *
+ * Cache invalidation: destroying a store bumps a process-wide close
+ * generation; every thread's next cache access sweeps slots whose
+ * owning store died. Without the sweep, a service creating many
+ * short-lived sealed databases would leave each thread's 8 slots
+ * pinning decoded blocks (and keys) of freed mappings indefinitely.
  */
 class ColumnarStore
 {

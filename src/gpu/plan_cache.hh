@@ -30,11 +30,20 @@
  * path). Plans depend on the device's FPU width (issue cycles), so a
  * SharedPlanCache is bound to one DeviceConfig and executors assert
  * compatibility when attaching.
+ *
+ * Both caches are striped: entries land in one of numShards
+ * independent (mutex, table, counter) stripes selected by a mix of
+ * the content hash, so hundreds of concurrent tenants hammering the
+ * same cache serialize only per stripe, never globally. Stats stay
+ * exact — counters are atomic per stripe and stats() sums them — and
+ * the first-insert-wins rule holds per key exactly as before (a
+ * key's stripe is a pure function of the key).
  */
 
 #ifndef GT_GPU_PLAN_CACHE_HH
 #define GT_GPU_PLAN_CACHE_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -90,19 +99,49 @@ struct ExecPlan
         return numBlocks == bin.blocks.size() &&
             numInstrs == bin.staticInstrCount();
     }
+
+    /** Approximate resident bytes of this plan's owned storage (the
+     * service's footprint accounting; deterministic, not exact
+     * allocator truth). */
+    uint64_t memoryBytes() const;
 };
 
-/** Exact concurrent counters for one shared cache. */
+/** Exact concurrent counters for one shared cache (or one of its
+ * stripes). */
 struct SharedCacheStats
 {
     uint64_t builds = 0;  //!< artifacts built and published
     uint64_t hits = 0;    //!< lookups served from the cache
     uint64_t misses = 0;  //!< lookups that found nothing
+
+    SharedCacheStats &
+    operator+=(const SharedCacheStats &o)
+    {
+        builds += o.builds;
+        hits += o.hits;
+        misses += o.misses;
+        return *this;
+    }
 };
+
+/** Stripes per sharded cache; a power of two so the selector is a
+ * multiply and shift of the content hash. */
+constexpr unsigned numCacheShards = 16;
+
+/** Stripe of @p content_hash: Fibonacci-mix then take the top bits,
+ * so stripes stay balanced even for structured hash values. */
+inline unsigned
+cacheShardOf(uint64_t content_hash)
+{
+    return (unsigned)((content_hash * 0x9e3779b97f4a7c15ULL) >>
+                      (64 - 4)) %
+           numCacheShards;
+}
 
 /**
  * Cross-driver memo table of ExecPlans, keyed on binary content
- * hash. Thread-safe; bound to one device configuration.
+ * hash. Thread-safe; bound to one device configuration; striped
+ * numCacheShards ways (see the file comment).
  */
 class SharedPlanCache
 {
@@ -119,13 +158,14 @@ class SharedPlanCache
     std::shared_ptr<const ExecPlan>
     find(uint64_t content_hash) const
     {
-        std::lock_guard<std::mutex> lock(mu);
-        auto it = table.find(content_hash);
-        if (it == table.end()) {
-            missCount.fetch_add(1, std::memory_order_relaxed);
+        const Shard &shard = shards[cacheShardOf(content_hash)];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.table.find(content_hash);
+        if (it == shard.table.end()) {
+            shard.missCount.fetch_add(1, std::memory_order_relaxed);
             return nullptr;
         }
-        hitCount.fetch_add(1, std::memory_order_relaxed);
+        shard.hitCount.fetch_add(1, std::memory_order_relaxed);
         return it->second;
     }
 
@@ -138,39 +178,67 @@ class SharedPlanCache
     std::shared_ptr<const ExecPlan>
     insert(uint64_t content_hash, std::shared_ptr<const ExecPlan> plan)
     {
-        std::lock_guard<std::mutex> lock(mu);
-        auto [it, fresh] = table.emplace(content_hash, std::move(plan));
+        Shard &shard = shards[cacheShardOf(content_hash)];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto [it, fresh] =
+            shard.table.emplace(content_hash, std::move(plan));
         if (fresh)
-            buildCount.fetch_add(1, std::memory_order_relaxed);
+            shard.buildCount.fetch_add(1, std::memory_order_relaxed);
         return it->second;
     }
 
+    /** Exact counters summed over every stripe. */
     SharedCacheStats
     stats() const
     {
         SharedCacheStats s;
-        s.builds = buildCount.load(std::memory_order_relaxed);
-        s.hits = hitCount.load(std::memory_order_relaxed);
-        s.misses = missCount.load(std::memory_order_relaxed);
+        for (unsigned i = 0; i < numCacheShards; ++i)
+            s += shardStats(i);
+        return s;
+    }
+
+    /** Exact counters of stripe @p shard. */
+    SharedCacheStats
+    shardStats(unsigned shard) const
+    {
+        const Shard &sh = shards[shard];
+        SharedCacheStats s;
+        s.builds = sh.buildCount.load(std::memory_order_relaxed);
+        s.hits = sh.hitCount.load(std::memory_order_relaxed);
+        s.misses = sh.missCount.load(std::memory_order_relaxed);
         return s;
     }
 
     size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mu);
-        return table.size();
+        size_t n = 0;
+        for (const Shard &shard : shards) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            n += shard.table.size();
+        }
+        return n;
     }
+
+    /** Approximate resident bytes of every cached plan plus table
+     * overhead (see ExecPlan::memoryBytes). */
+    uint64_t memoryBytes() const;
 
     const DeviceConfig &deviceConfig() const { return config_; }
 
   private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<uint64_t, std::shared_ptr<const ExecPlan>>
+            table;
+        std::atomic<uint64_t> buildCount{0};
+        mutable std::atomic<uint64_t> hitCount{0};
+        mutable std::atomic<uint64_t> missCount{0};
+    };
+
     const DeviceConfig config_;
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, std::shared_ptr<const ExecPlan>> table;
-    std::atomic<uint64_t> buildCount{0};
-    mutable std::atomic<uint64_t> hitCount{0};
-    mutable std::atomic<uint64_t> missCount{0};
+    std::array<Shard, numCacheShards> shards;
 };
 
 /**
@@ -179,7 +247,11 @@ class SharedPlanCache
  * driver-local kernel id. Checkpoints reference their binary; since
  * a tenant's binaries die with its driver, insert() re-points the
  * stored checkpoint at an interned immutable clone owned by the
- * cache, so adopted checkpoints outlive every tenant. Thread-safe.
+ * cache, so adopted checkpoints outlive every tenant. Thread-safe;
+ * striped numCacheShards ways on the binary content hash, with the
+ * binary-clone intern table striped alongside (a key's stripe is a
+ * pure function of binaryHash, so every checkpoint of one kernel
+ * still shares one clone).
  */
 class SharedCheckpointCache
 {
@@ -222,6 +294,10 @@ class SharedCheckpointCache
     SharedCacheStats stats() const;
     size_t size() const;
 
+    /** Approximate resident bytes of every adopted checkpoint and
+     * interned binary clone, plus table overhead. */
+    uint64_t memoryBytes() const;
+
   private:
     struct KeyHash
     {
@@ -237,18 +313,33 @@ class SharedCheckpointCache
         }
     };
 
-    mutable std::mutex mu;
-    std::unordered_map<Key, std::shared_ptr<const DetailedCheckpoint>,
-                       KeyHash>
-        table;
-    /** Interned binary clones, keyed on content hash, so every
-     * checkpoint of one kernel shares one clone. */
-    std::unordered_map<uint64_t,
-                       std::shared_ptr<const isa::KernelBinary>>
-        binaries;
-    std::atomic<uint64_t> buildCount{0};
-    mutable std::atomic<uint64_t> hitCount{0};
-    mutable std::atomic<uint64_t> missCount{0};
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<Key,
+                           std::shared_ptr<const DetailedCheckpoint>,
+                           KeyHash>
+            table;
+        /** Interned binary clones, keyed on content hash, so every
+         * checkpoint of one kernel shares one clone (all keys of one
+         * binary land in this stripe). */
+        std::unordered_map<uint64_t,
+                           std::shared_ptr<const isa::KernelBinary>>
+            binaries;
+        std::atomic<uint64_t> buildCount{0};
+        mutable std::atomic<uint64_t> hitCount{0};
+        mutable std::atomic<uint64_t> missCount{0};
+    };
+
+    /** A key's stripe follows its binary hash so the checkpoint and
+     * its interned binary share one lock. */
+    static unsigned
+    shardOf(const Key &key)
+    {
+        return cacheShardOf(key.binaryHash);
+    }
+
+    std::array<Shard, numCacheShards> shards;
 };
 
 } // namespace gt::gpu

@@ -251,25 +251,23 @@ class PoolHandle
     };
 
     /** Block until a slot is free, then take it. */
-    Slot
-    acquire()
-    {
-        std::unique_lock<std::mutex> lock(mutex);
-        freed.wait(lock, [this] { return running < cap; });
-        ++running;
-        return Slot(this);
-    }
+    Slot acquire();
+
+    /**
+     * Like acquire(), but if the *calling thread* already holds one
+     * of this handle's slots, return an empty slot immediately
+     * instead of blocking. This is how work that can start either
+     * standalone or from inside an admitted job (the service's
+     * session rehydration) throttles the standalone case without
+     * deadlocking the nested one — a thread waiting on its own
+     * admission would wait forever at width 1. Slots taken through
+     * either entry point must be released on the acquiring thread
+     * (they are RAII locals in practice).
+     */
+    Slot acquireReentrant();
 
   private:
-    void
-    release()
-    {
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            --running;
-        }
-        freed.notify_one();
-    }
+    void release();
 
     ThreadPool &target;
     unsigned cap;

@@ -1,8 +1,13 @@
 #include "serve/service.hh"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/table.hh"
+#include "core/trace_store.hh"
 #include "gtpin/tools.hh"
 #include "workloads/templates.hh"
 
@@ -12,18 +17,143 @@ namespace gt::serve
 using core::simpoint::Point;
 using core::simpoint::UniqueIndex;
 
+namespace
+{
+
+/** GT_SERVE_* environment defaults, parsed and logged once. They
+ * fill ServiceConfig fields the caller left at their defaults — an
+ * explicitly configured value always wins. */
+struct ServeEnv
+{
+    bool haveMaxSessions = false;
+    size_t maxSessions = 0;
+    bool haveMaxBytes = false;
+    uint64_t maxBytes = 0;
+    bool haveEvict = false;
+    bool evict = false;
+    std::string archiveDir;
+};
+
+uint64_t
+parseEnvCount(const char *name, const char *value)
+{
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0')
+        fatal(name, "='", value, "' is not a non-negative integer");
+    return (uint64_t)parsed;
+}
+
+const ServeEnv &
+serveEnv()
+{
+    static const ServeEnv parsed = [] {
+        ServeEnv e;
+        if (const char *v = std::getenv("GT_SERVE_MAX_SESSIONS");
+            v && *v != '\0') {
+            e.haveMaxSessions = true;
+            e.maxSessions =
+                (size_t)parseEnvCount("GT_SERVE_MAX_SESSIONS", v);
+        }
+        if (const char *v = std::getenv("GT_SERVE_MAX_BYTES");
+            v && *v != '\0') {
+            e.haveMaxBytes = true;
+            e.maxBytes = parseEnvCount("GT_SERVE_MAX_BYTES", v);
+        }
+        if (const char *v = std::getenv("GT_SERVE_EVICT");
+            v && *v != '\0') {
+            std::string value(v);
+            if (value != "0" && value != "1") {
+                fatal("GT_SERVE_EVICT='", value,
+                      "' is not a flag (expected '0' or '1')");
+            }
+            e.haveEvict = true;
+            e.evict = value == "1";
+        }
+        if (const char *v = std::getenv("GT_SERVE_ARCHIVE_DIR");
+            v && *v != '\0') {
+            e.archiveDir = v;
+        }
+        if (e.haveMaxSessions || e.haveMaxBytes || e.haveEvict ||
+            !e.archiveDir.empty()) {
+            inform("serve: lifecycle env overrides:",
+                   e.haveMaxSessions
+                       ? " max-sessions=" +
+                             std::to_string(e.maxSessions)
+                       : "",
+                   e.haveMaxBytes
+                       ? " max-bytes=" + std::to_string(e.maxBytes)
+                       : "",
+                   e.haveEvict
+                       ? std::string(" evict-on-drain=") +
+                             (e.evict ? "1" : "0")
+                       : "",
+                   e.archiveDir.empty()
+                       ? ""
+                       : " archive-dir=" + e.archiveDir);
+        }
+        return e;
+    }();
+    return parsed;
+}
+
+/** Apply the env defaults to fields left unset, then resolve the
+ * archive directory fallback chain. */
+ServiceConfig
+resolveConfig(ServiceConfig cfg)
+{
+    const ServeEnv &env = serveEnv();
+    if (env.haveMaxSessions && cfg.maxResidentSessions == SIZE_MAX)
+        cfg.maxResidentSessions = env.maxSessions;
+    if (env.haveMaxBytes && cfg.maxResidentBytes == UINT64_MAX)
+        cfg.maxResidentBytes = env.maxBytes;
+    if (env.haveEvict && !cfg.evictOnDrain)
+        cfg.evictOnDrain = env.evict;
+    if (cfg.archiveDir.empty())
+        cfg.archiveDir = env.archiveDir;
+    if (cfg.archiveDir.empty()) {
+        const char *tmp = std::getenv("TMPDIR");
+        std::string base = tmp && *tmp != '\0' ? tmp : "/tmp";
+        cfg.archiveDir =
+            base + "/gt-serve-" + std::to_string(::getpid());
+    }
+    return cfg;
+}
+
+} // namespace
+
+uint64_t
+ReplayArtifact::memoryBytes() const
+{
+    uint64_t bytes = sizeof(*this);
+    bytes += calls.size() * sizeof(ocl::ApiCallRecord);
+    for (const ocl::ApiCallRecord &call : calls) {
+        bytes += call.kernelName.size() +
+                 call.uargs.size() * sizeof(uint64_t) +
+                 call.payload.size();
+    }
+    bytes += profiles.size() * sizeof(gtpin::DispatchProfile);
+    for (const gtpin::DispatchProfile &profile : profiles) {
+        bytes += profile.footprintBytes() -
+                 sizeof(gtpin::DispatchProfile);
+    }
+    bytes += timings.size() * sizeof(cfl::KernelTiming);
+    bytes += epochs.size() * sizeof(std::pair<uint64_t, uint64_t>);
+    return bytes;
+}
+
 WorkloadSession::WorkloadSession(std::string workload_name,
                                  const ServiceConfig &config,
                                  sched::ThreadPool &shared_pool)
     : workloadName(std::move(workload_name)), pool(shared_pool),
-      clusterOptions(config.cluster)
+      clusterOptions(config.cluster),
+      targetInstrs(config.targetInstrs)
 {
     clusterOptions.pool = &pool;
     configs.reserve(config.selections.size());
     for (const SelectionConfig &sc : config.selections) {
-        uint64_t target = config.targetInstrs;
         configs.push_back(ConfigState{
-            sc, core::IncrementalIntervals(sc.scheme, target),
+            sc, core::IncrementalIntervals(sc.scheme, targetInstrs),
             {}, 0, {}, {}, 0, false});
     }
 }
@@ -40,13 +170,46 @@ WorkloadSession::addDispatch(const gtpin::DispatchProfile &profile,
                              const cfl::KernelTiming &timing)
 {
     std::lock_guard<std::mutex> lock(mutex);
+    rehydrateLocked();
     builder.append(profile, timing);
     features.appendDispatch(profile);
     uint64_t i = builder.numAppended() - 1;
     uint64_t epoch = builder.syncEpoch(i);
     for (ConfigState &cs : configs)
         cs.intervals.append(epoch, profile.instrs, timing.seconds);
+    ++fed;
     ++counters.dispatches;
+}
+
+void
+WorkloadSession::addDispatches(
+    const std::vector<gtpin::DispatchProfile> &profiles,
+    const std::vector<cfl::KernelTiming> &timings,
+    const std::vector<std::pair<uint64_t, uint64_t>> &epochs)
+{
+    GT_ASSERT(profiles.size() == timings.size() &&
+                  profiles.size() == epochs.size(),
+              "bulk append stream mismatch: ", profiles.size(),
+              " profiles, ", timings.size(), " timings, ",
+              epochs.size(), " epoch assignments");
+    std::lock_guard<std::mutex> lock(mutex);
+    rehydrateLocked();
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        const gtpin::DispatchProfile &profile = profiles[i];
+        GT_ASSERT(profile.seq == timings[i].seq,
+                  "profile/timing sequence mismatch at bulk row ", i);
+        GT_ASSERT(epochs[i].first == profile.seq,
+                  "epoch assignment misaligned at bulk row ", i);
+        builder.appendJoined(profile, timings[i].seconds,
+                             epochs[i].second);
+        features.appendDispatch(profile);
+        for (ConfigState &cs : configs) {
+            cs.intervals.append(epochs[i].second, profile.instrs,
+                                timings[i].seconds);
+        }
+    }
+    fed += profiles.size();
+    counters.dispatches += profiles.size();
 }
 
 void
@@ -54,6 +217,20 @@ WorkloadSession::refresh()
 {
     std::lock_guard<std::mutex> lock(mutex);
     ++counters.refreshes;
+    if (evicted) {
+        // Evictions memoize every selection first, so the common
+        // evicted refresh is a pure memo sweep. Only a selection
+        // that is genuinely stale (a direct evict() racing new rows
+        // is impossible — both hold the session lock — but a caller
+        // may evict, feed, and refresh) forces rehydration.
+        bool stale = false;
+        for (const ConfigState &cs : configs) {
+            stale |= fed > 0 &&
+                (!cs.hasSelection || cs.selectionAt != fed);
+        }
+        if (stale)
+            rehydrateLocked();
+    }
     for (ConfigState &cs : configs)
         refreshConfig(cs);
 }
@@ -61,15 +238,19 @@ WorkloadSession::refresh()
 void
 WorkloadSession::refreshConfig(ConfigState &cs)
 {
-    uint64_t now = builder.numAppended();
+    uint64_t now = fed;
     if (now == 0)
         return; // nothing to select from yet
     if (cs.hasSelection && cs.selectionAt == now) {
         // The population gained no dispatches: the memoized
-        // selection is still exact.
+        // selection is still exact. This is also the evicted steady
+        // state — answering from the memo is what keeps refresh()
+        // from rehydrating every archived session.
         ++counters.reusedSelections;
         return;
     }
+    GT_ASSERT(!evicted, "recluster on an evicted session (refresh() "
+                        "should have rehydrated)");
 
     // Grow the shared query-side state to the current key universe.
     // Projection rows are pure per-key, so the extended table agrees
@@ -137,14 +318,139 @@ uint64_t
 WorkloadSession::numDispatches() const
 {
     std::lock_guard<std::mutex> lock(mutex);
-    return builder.numAppended();
+    return fed;
 }
 
 core::TraceDatabase
 WorkloadSession::sealDatabase(core::TraceDbBackend backend) const
 {
     std::lock_guard<std::mutex> lock(mutex);
+    if (evicted && !archivePath.empty()) {
+        // The archive *is* a columnar database of exactly the fed
+        // rows; reopening it reproduces the sealed totals bit for
+        // bit. For the mem backend, re-feed a throwaway builder in
+        // the original append order.
+        core::TraceDatabase db =
+            core::TraceDatabase::openColumnarFile(archivePath);
+        if (backend == core::TraceDbBackend::Columnar)
+            return db;
+        core::TraceDatabase::Builder rebuilt;
+        for (uint64_t i = 0; i < db.numDispatches(); ++i) {
+            rebuilt.appendJoined(db.profileAt(i), db.seconds(i),
+                                 db.syncEpoch(i));
+        }
+        return std::move(rebuilt).seal(backend);
+    }
     return builder.seal(backend);
+}
+
+void
+WorkloadSession::evict(const std::string &archive_path)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (evicted)
+        return;
+    // Memoize every selection at the current prefix first: an
+    // evicted session keeps answering refresh()/selection() from the
+    // memo, so draining a fleet and refreshing it stays cheap and
+    // never re-reads the archives.
+    for (ConfigState &cs : configs)
+        refreshConfig(cs);
+    if (builder.numAppended() > 0) {
+        builder.writeArchive(archive_path);
+        archivePath = archive_path;
+    }
+    // Keep only the epoch-walk restart state (O(in-flight), tiny);
+    // everything else is reclaimed and reproducible from the
+    // archive.
+    core::TraceDatabase::Builder::EpochWalk walk = builder.walkState();
+    builder = core::TraceDatabase::Builder();
+    builder.restoreWalk(std::move(walk));
+    features = core::DispatchFeatureCache();
+    table = core::simpoint::ProjectionTable();
+    for (ConfigState &cs : configs) {
+        cs.intervals = core::IncrementalIntervals(cs.config.scheme,
+                                                  targetInstrs);
+        cs.points.clear();
+        cs.points.shrink_to_fit();
+        cs.stable = 0;
+        cs.uniq = UniqueIndex();
+    }
+    evicted = true;
+    ++counters.evictions;
+}
+
+bool
+WorkloadSession::isEvicted() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return evicted;
+}
+
+void
+WorkloadSession::rehydrateLocked()
+{
+    if (!evicted)
+        return;
+    evicted = false;
+    ++counters.rehydrations;
+    if (archivePath.empty())
+        return; // the session was empty when evicted
+    core::TraceDatabase db =
+        core::TraceDatabase::openColumnarFile(archivePath);
+    for (uint64_t i = 0; i < db.numDispatches(); ++i) {
+        // Copy out of the thread's decode cache before feeding: the
+        // reference is only stable across a few block touches.
+        gtpin::DispatchProfile profile = db.profileAt(i);
+        double secs = db.seconds(i);
+        uint64_t epoch = db.syncEpoch(i);
+        uint64_t instrs = profile.instrs;
+        features.appendDispatch(profile);
+        builder.appendJoined(std::move(profile), secs, epoch);
+        for (ConfigState &cs : configs)
+            cs.intervals.append(epoch, instrs, secs);
+    }
+    GT_ASSERT(builder.numAppended() == fed,
+              "rehydrated ", builder.numAppended(),
+              " rows but the session had fed ", fed);
+    // Points, the unique index, and the projection table rebuild
+    // from scratch on the next refresh; per-key purity makes the
+    // recomputed selections bitwise equal to a never-evicted
+    // session's (pinned by the eviction differential tests).
+}
+
+uint64_t
+WorkloadSession::memoryBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    uint64_t bytes = sizeof(*this) + workloadName.size() +
+                     archivePath.size();
+    bytes += builder.memoryBytes();
+    bytes += features.memoryBytes();
+    bytes += table.size() * (sizeof(uint64_t) + sizeof(Point));
+    for (const ConfigState &cs : configs) {
+        bytes += sizeof(ConfigState);
+        bytes += cs.intervals.memoryBytes();
+        bytes += cs.points.size() * sizeof(Point);
+        bytes += (cs.uniq.uid.size() + cs.uniq.rep.size() +
+                  cs.uniq.count.size()) *
+                 sizeof(uint32_t);
+    }
+    return bytes;
+}
+
+uint64_t
+WorkloadSession::memoBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    uint64_t bytes = 0;
+    for (const ConfigState &cs : configs) {
+        bytes += cs.selection.intervals.size() *
+                     sizeof(core::Interval) +
+                 cs.selection.selected.size() * sizeof(uint64_t) +
+                 cs.selection.ratios.size() * sizeof(double);
+    }
+    return bytes;
 }
 
 SessionStats
@@ -155,9 +461,10 @@ WorkloadSession::stats() const
 }
 
 ProfilingService::ProfilingService(ServiceConfig config)
-    : cfg(std::move(config)),
+    : cfg(resolveConfig(std::move(config))),
       pool(cfg.pool ? *cfg.pool : sched::ThreadPool::global()),
-      admission(pool, cfg.replayWidth), plans(cfg.device)
+      admission(pool, cfg.replayWidth), plans(cfg.device),
+      archiveRoot(cfg.archiveDir)
 {
 }
 
@@ -191,6 +498,7 @@ ProfilingService::WorkloadId
 ProfilingService::submit(TenantId tenant, std::string workload_name,
                          cfl::Recording recording)
 {
+    uint64_t key = cfl::recordingContentHash(recording);
     Workload *wl = nullptr;
     WorkloadId id = 0;
     {
@@ -199,13 +507,31 @@ ProfilingService::submit(TenantId tenant, std::string workload_name,
                   tenant);
         Tenant &t = *tenants[tenant];
         auto workload = std::make_unique<Workload>();
+        workload->tenant = tenant;
         workload->recording = std::move(recording);
         workload->session = std::make_unique<WorkloadSession>(
             std::move(workload_name), cfg, pool);
+        workload->id = t.workloads.size();
         t.workloads.push_back(std::move(workload));
         wl = t.workloads.back().get();
-        id = t.workloads.size() - 1;
+        id = wl->id;
     }
+
+    // The warm admission fast path: a known recording needs no
+    // replay, no admission slot, and no pool hop — the cached rows
+    // bulk-append synchronously on the calling thread, so warm
+    // submission cost is O(rows) and independent of replay cost.
+    if (std::shared_ptr<const ReplayArtifact> artifact =
+            findArtifact(key)) {
+        artifactHitCount.fetch_add(1, std::memory_order_relaxed);
+        feedFromArtifact(*wl->session, *artifact);
+        wl->lastUse.store(useTicket.fetch_add(1),
+                          std::memory_order_relaxed);
+        wl->drained.store(true, std::memory_order_release);
+        enforceBudget();
+        return id;
+    }
+
     // Schedule outside the service lock: on a 1-thread pool submit()
     // runs the replay inline, and the replay takes the lock-free
     // feed path into the session.
@@ -233,16 +559,19 @@ ProfilingService::drain()
 void
 ProfilingService::refreshAll()
 {
-    std::vector<WorkloadSession *> sessions;
+    std::vector<Workload *> work;
     {
         std::lock_guard<std::mutex> lock(mutex);
         for (const auto &t : tenants) {
             for (const auto &w : t->workloads)
-                sessions.push_back(w->session.get());
+                work.push_back(w.get());
         }
     }
-    for (WorkloadSession *s : sessions)
-        s->refresh();
+    for (Workload *w : work) {
+        w->session->refresh();
+        w->lastUse.store(useTicket.fetch_add(1),
+                         std::memory_order_relaxed);
+    }
 }
 
 WorkloadSession &
@@ -273,6 +602,8 @@ ProfilingService::stats() const
                 st.sessions.reusedSelections += s.reusedSelections;
                 st.sessions.reusedPoints += s.reusedPoints;
                 st.sessions.projectedPoints += s.projectedPoints;
+                st.sessions.evictions += s.evictions;
+                st.sessions.rehydrations += s.rehydrations;
             }
         }
     }
@@ -283,36 +614,51 @@ ProfilingService::stats() const
     return st;
 }
 
+std::shared_ptr<const ReplayArtifact>
+ProfilingService::findArtifact(uint64_t key)
+{
+    ArtifactShard &shard = artifactShards[gpu::cacheShardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    return it == shard.map.end() ? nullptr : it->second;
+}
+
+void
+ProfilingService::insertArtifact(
+    uint64_t key, std::shared_ptr<const ReplayArtifact> artifact)
+{
+    // First insert wins; a racing duplicate replay fed its own
+    // session identically, so dropping its artifact loses nothing.
+    ArtifactShard &shard = artifactShards[gpu::cacheShardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(key, std::move(artifact));
+}
+
 void
 ProfilingService::runReplay(Workload &workload)
 {
-    // The oversubscription guard: every replay runs on the one
-    // shared pool, and at most admission.width() run concurrently.
-    sched::PoolHandle::Slot slot = admission.acquire();
-
-    uint64_t key = cfl::recordingContentHash(workload.recording);
-    std::shared_ptr<const ReplayArtifact> artifact;
     {
-        std::lock_guard<std::mutex> lock(artifactMutex);
-        auto it = artifacts.find(key);
-        if (it != artifacts.end())
-            artifact = it->second;
-    }
-    if (artifact) {
-        artifactHitCount.fetch_add(1, std::memory_order_relaxed);
-        feedFromArtifact(*workload.session, *artifact);
-        return;
-    }
+        // The oversubscription guard: every replay runs on the one
+        // shared pool, and at most admission.width() run
+        // concurrently. Re-entrant: a replay submitted from inside
+        // an already-admitted task (inline execution on a 1-thread
+        // pool) must not wait on its own slot.
+        sched::PoolHandle::Slot slot = admission.acquireReentrant();
 
-    replayCount.fetch_add(1, std::memory_order_relaxed);
-    std::shared_ptr<ReplayArtifact> built = replayStreaming(workload);
-    {
-        // First insert wins; a racing duplicate replay fed its own
-        // session identically, so dropping its artifact loses
-        // nothing.
-        std::lock_guard<std::mutex> lock(artifactMutex);
-        artifacts.emplace(key, std::move(built));
+        uint64_t key = cfl::recordingContentHash(workload.recording);
+        if (std::shared_ptr<const ReplayArtifact> artifact =
+                findArtifact(key)) {
+            artifactHitCount.fetch_add(1, std::memory_order_relaxed);
+            feedFromArtifact(*workload.session, *artifact);
+        } else {
+            replayCount.fetch_add(1, std::memory_order_relaxed);
+            insertArtifact(key, replayStreaming(workload));
+        }
     }
+    workload.lastUse.store(useTicket.fetch_add(1),
+                           std::memory_order_relaxed);
+    workload.drained.store(true, std::memory_order_release);
+    enforceBudget();
 }
 
 std::shared_ptr<ReplayArtifact>
@@ -373,6 +719,14 @@ ProfilingService::replayStreaming(Workload &workload)
     artifact->calls = tracer.callStream();
     artifact->profiles = profile_tool.takeProfiles();
     artifact->timings = tracer.kernelTimings();
+    // Run the epoch walk once here so every warm submission can
+    // bulk-append without it.
+    artifact->epochs =
+        core::TraceDatabase::Builder::assignEpochs(artifact->calls);
+    GT_ASSERT(artifact->epochs.size() == artifact->profiles.size(),
+              "artifact epoch walk assigned ",
+              artifact->epochs.size(), " dispatches but the replay "
+              "profiled ", artifact->profiles.size());
     return artifact;
 }
 
@@ -381,16 +735,122 @@ ProfilingService::feedFromArtifact(WorkloadSession &session,
                                    const ReplayArtifact &artifact)
 {
     // Epoch assignment depends only on calls issued before each
-    // dispatch's own Kernel call, so feeding the whole call stream
-    // first and the rows after reproduces the streamed session state
-    // bit for bit.
-    for (const ocl::ApiCallRecord &call : artifact.calls)
-        session.observeCall(call);
+    // dispatch's own Kernel call, and the artifact carries the
+    // complete walk's assignments — so the bulk append reproduces
+    // the streamed session state bit for bit, one lock for the
+    // whole batch.
     GT_ASSERT(artifact.profiles.size() == artifact.timings.size(),
               "artifact profile/timing count mismatch");
-    for (size_t i = 0; i < artifact.profiles.size(); ++i)
-        session.addDispatch(artifact.profiles[i],
-                            artifact.timings[i]);
+    session.addDispatches(artifact.profiles, artifact.timings,
+                          artifact.epochs);
+}
+
+SessionArchive &
+ProfilingService::archiveCatalog()
+{
+    std::lock_guard<std::mutex> lock(archiveMutex);
+    if (!archiveStore)
+        archiveStore = std::make_unique<SessionArchive>(archiveRoot);
+    return *archiveStore;
+}
+
+void
+ProfilingService::enforceBudget()
+{
+    if (cfg.maxResidentSessions == SIZE_MAX &&
+        cfg.maxResidentBytes == UINT64_MAX && !cfg.evictOnDrain)
+        return;
+
+    // Snapshot resident state under the service lock; the sessions
+    // themselves are locked one at a time (service -> session lock
+    // order, never the reverse).
+    struct Candidate
+    {
+        Workload *workload;
+        uint64_t lastUse;
+        uint64_t bytes;
+    };
+    std::vector<Candidate> evictable;
+    uint64_t residentBytes = 0;
+    size_t residentCount = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (const auto &t : tenants) {
+            for (const auto &w : t->workloads) {
+                if (!w->session || w->session->isEvicted())
+                    continue;
+                uint64_t bytes = w->session->memoryBytes();
+                residentBytes += bytes;
+                ++residentCount;
+                if (w->drained.load(std::memory_order_acquire)) {
+                    evictable.push_back(
+                        {w.get(),
+                         w->lastUse.load(std::memory_order_relaxed),
+                         bytes});
+                }
+            }
+        }
+    }
+    std::sort(evictable.begin(), evictable.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.lastUse < b.lastUse;
+              });
+
+    for (const Candidate &cand : evictable) {
+        bool over = residentCount > cfg.maxResidentSessions ||
+                    residentBytes > cfg.maxResidentBytes;
+        if (!cfg.evictOnDrain && !over)
+            break;
+        Workload &wl = *cand.workload;
+        SessionArchive &catalog = archiveCatalog();
+        std::string path = catalog.pathFor(wl.tenant, wl.id,
+                                           wl.session->name());
+        wl.session->evict(path);
+        catalog.record(wl.session->name(), path,
+                       wl.session->numDispatches());
+        residentBytes -= std::min(cand.bytes, residentBytes);
+        --residentCount;
+        inform("serve: evicted '", wl.session->name(), "' (",
+               humanBytes(cand.bytes), ") to ", path, "; ",
+               residentCount, " sessions / ",
+               humanBytes(residentBytes), " resident");
+    }
+}
+
+ServiceFootprint
+ProfilingService::memoryFootprint() const
+{
+    ServiceFootprint fp;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (const auto &t : tenants) {
+            for (const auto &w : t->workloads) {
+                if (!w->session)
+                    continue;
+                uint64_t bytes = w->session->memoryBytes();
+                if (w->session->isEvicted())
+                    fp.evictedResidueBytes += bytes;
+                else
+                    fp.sessionBytes += bytes;
+                fp.memoBytes += w->session->memoBytes();
+            }
+        }
+    }
+    fp.planCacheBytes = plans.memoryBytes();
+    fp.checkpointCacheBytes = ckpts.memoryBytes();
+    for (const ArtifactShard &shard : artifactShards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (const auto &[key, artifact] : shard.map) {
+            (void)key;
+            fp.artifactBytes += artifact->memoryBytes();
+        }
+    }
+    fp.traceCacheBytes = core::trace_store::threadCacheResidentBytes();
+    fp.totalBytes = fp.sessionBytes + fp.evictedResidueBytes +
+                    fp.memoBytes + fp.planCacheBytes +
+                    fp.checkpointCacheBytes + fp.artifactBytes +
+                    fp.traceCacheBytes;
+    return fp;
 }
 
 } // namespace gt::serve

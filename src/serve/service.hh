@@ -51,11 +51,42 @@
  * A population is re-clustered only when its workload gained
  * dispatches since the last refresh; untouched configurations are
  * answered from the memoized selection.
+ *
+ * At hundreds of tenants the remaining scaling hazards are resident
+ * session state (every drained workload used to keep its joined
+ * records, feature columns, and interval state in memory forever)
+ * and global cache mutexes. Three mechanisms close them:
+ *
+ *  - **Session eviction.** When a workload drains — or the
+ *    configured resident-session / resident-byte budget is exceeded
+ *    (LRU order) — its session is *evicted*: selections are
+ *    memoized, the joined rows are written to a named columnar
+ *    archive file under a small catalog (serve/archive.hh), and the
+ *    builder, feature cache, and interval state are dropped. While
+ *    evicted, refresh() and selection() answer from the memo at
+ *    near-zero cost; a late dispatch (or a non-memo refresh)
+ *    *rehydrates* by re-feeding the archived rows, after which every
+ *    selection is bitwise identical to a never-evicted session's
+ *    (the eviction differential tests pin this across budget
+ *    thresholds).
+ *  - **Warm admission.** A submit() whose recording content hash
+ *    already has a replay artifact skips replay scheduling entirely:
+ *    the cached rows bulk-append into the new session through
+ *    WorkloadSession::addDispatches() using the artifact's
+ *    precomputed epoch assignments — one lock, no per-dispatch epoch
+ *    walk, no admission slot, no pool hop. Warm submission is an
+ *    O(rows) append on the calling thread, which is what the
+ *    warm-vs-cold latency gate in bench/service_throughput measures.
+ *  - **Sharded caches.** The plan, checkpoint (gpu/plan_cache.hh),
+ *    and replay-artifact caches are striped by content hash, so
+ *    tenants contend per stripe, never on one global mutex; stats
+ *    remain exact.
  */
 
 #ifndef GT_SERVE_SERVICE_HH
 #define GT_SERVE_SERVICE_HH
 
+#include <array>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -69,6 +100,7 @@
 #include "gpu/plan_cache.hh"
 #include "ocl/driver.hh"
 #include "sched/thread_pool.hh"
+#include "serve/archive.hh"
 
 namespace gt::serve
 {
@@ -116,6 +148,34 @@ struct ServiceConfig
     /** Shared pool for replays and refresh clustering (null = the
      * process-wide pool). */
     sched::ThreadPool *pool = nullptr;
+
+    /**
+     * Resident-session cap: when more than this many sessions hold
+     * live builder/feature state, drained sessions are evicted to
+     * the archive in LRU order. SIZE_MAX = never evict by count;
+     * 0 = evict every drained session. Defaults from
+     * GT_SERVE_MAX_SESSIONS when the field is left unset.
+     */
+    size_t maxResidentSessions = SIZE_MAX;
+
+    /**
+     * Resident-byte budget over the summed per-session state
+     * (builders, feature caches, interval/point state — see
+     * WorkloadSession::memoryBytes). Exceeding it evicts drained
+     * sessions LRU-first until back under. UINT64_MAX = unbounded.
+     * Defaults from GT_SERVE_MAX_BYTES when left unset.
+     */
+    uint64_t maxResidentBytes = UINT64_MAX;
+
+    /** Evict every workload the moment its replay drains (the
+     * most aggressive setting; selections stay answerable from the
+     * memo). Defaults from GT_SERVE_EVICT=1. */
+    bool evictOnDrain = false;
+
+    /** Directory for session archives and their catalog. Empty =
+     * GT_SERVE_ARCHIVE_DIR, else TMPDIR (or /tmp) +
+     * "/gt-serve-<pid>". Created on first eviction. */
+    std::string archiveDir;
 };
 
 /**
@@ -130,7 +190,17 @@ struct ReplayArtifact
     std::vector<gtpin::DispatchProfile> profiles;
     std::vector<cfl::KernelTiming> timings;
 
+    /** Precomputed (dispatch seq, sync epoch) assignments of the
+     * call stream, ascending by seq (one entry per profile) — what
+     * lets warm submissions bulk-append without re-running the
+     * per-dispatch epoch walk
+     * (core::TraceDatabase::Builder::assignEpochs). */
+    std::vector<std::pair<uint64_t, uint64_t>> epochs;
+
     uint64_t dispatchCount() const { return profiles.size(); }
+
+    /** Approximate resident bytes of the cached outcome. */
+    uint64_t memoryBytes() const;
 };
 
 /** Per-session work counters (monotone; see stats()). */
@@ -142,6 +212,8 @@ struct SessionStats
     uint64_t reusedSelections = 0; //!< answered from the memo
     uint64_t reusedPoints = 0;     //!< cached prefix points kept
     uint64_t projectedPoints = 0;  //!< points (re)computed
+    uint64_t evictions = 0;        //!< sessions sealed to the archive
+    uint64_t rehydrations = 0;     //!< archives re-fed into builders
 };
 
 /**
@@ -168,6 +240,51 @@ class WorkloadSession
      * feature columns, and advances every interval scheme. */
     void addDispatch(const gtpin::DispatchProfile &profile,
                      const cfl::KernelTiming &timing);
+
+    /**
+     * Bulk-append already-epoch-assigned rows (the warm admission
+     * path): one session lock for the whole batch, and the joined
+     * rows bypass the per-dispatch epoch walk because @p epochs
+     * carries the artifact's precomputed (seq, epoch) assignments
+     * (parallel to @p profiles). Bitwise identical session state to
+     * feeding the same rows through observeCall()/addDispatch().
+     */
+    void addDispatches(
+        const std::vector<gtpin::DispatchProfile> &profiles,
+        const std::vector<cfl::KernelTiming> &timings,
+        const std::vector<std::pair<uint64_t, uint64_t>> &epochs);
+
+    /**
+     * Seal this session's joined rows to the named columnar archive
+     * at @p archive_path and drop the builder records, feature
+     * columns, and interval/point state — everything except the
+     * memoized selections (refreshed here first, so an evicted
+     * session answers refresh()/selection() from the memo without
+     * touching the archive) and the tiny epoch-walk restart state. A
+     * later dispatch rehydrates transparently by re-feeding the
+     * archived rows; selections afterwards are bitwise identical to
+     * a never-evicted session's. Idempotent.
+     */
+    void evict(const std::string &archive_path);
+
+    /** Whether the session is currently evicted (state on disk). */
+    bool isEvicted() const;
+
+    /**
+     * Approximate resident bytes of this session's *reclaimable*
+     * state: the streaming builder (joined records + profile heap),
+     * the lowered feature columns, the projection table, and
+     * per-config interval/point/unique-index state. What evict()
+     * reclaims; the service's byte-budget eviction and
+     * memoryFootprint() sum this. The memoized selections are
+     * excluded — they survive eviction by contract (selection()
+     * stays answerable) and are reported by memoBytes().
+     */
+    uint64_t memoryBytes() const;
+
+    /** Approximate bytes of the memoized selections (the one
+     * per-workload cost that outlives eviction). */
+    uint64_t memoBytes() const;
 
     /**
      * Incremental selection refresh over everything fed so far.
@@ -217,9 +334,14 @@ class WorkloadSession
 
     void refreshConfig(ConfigState &state);
 
+    /** Re-feed the archived rows into fresh builder/feature/interval
+     * state (no-op unless evicted). Caller holds the mutex. */
+    void rehydrateLocked();
+
     std::string workloadName;
     sched::ThreadPool &pool;
     core::simpoint::ClusterOptions clusterOptions;
+    uint64_t targetInstrs;
 
     mutable std::mutex mutex;
     core::TraceDatabase::Builder builder;
@@ -227,6 +349,14 @@ class WorkloadSession
     core::simpoint::ProjectionTable table;
     std::vector<ConfigState> configs;
     SessionStats counters;
+
+    /** Rows ever fed (survives eviction; builder.numAppended() drops
+     * to 0 while evicted, so the memo check keys on this). */
+    uint64_t fed = 0;
+    bool evicted = false;
+    /** Archive file holding the joined rows while evicted (empty if
+     * the session was empty at eviction). */
+    std::string archivePath;
 };
 
 /** Service-wide counters and cache statistics. */
@@ -239,6 +369,33 @@ struct ServiceStats
     SessionStats sessions;     //!< summed over every session
     gpu::SharedCacheStats planCache;
     gpu::SharedCacheStats checkpointCache;
+};
+
+/** Where the service's resident bytes live (approximate,
+ * deterministic sums — see memoryFootprint()). */
+struct ServiceFootprint
+{
+    /** Builder/feature/interval state of the *resident*
+     * (non-evicted) sessions. This is what the byte-budget eviction
+     * bounds: it stays under ServiceConfig::maxResidentBytes no
+     * matter how many workloads accumulate. */
+    uint64_t sessionBytes = 0;
+    /** Residual object bytes of evicted sessions (the session
+     * object, empty column/interval shells, the epoch-walk restart
+     * state — a few KB each, everything heavy is on disk). */
+    uint64_t evictedResidueBytes = 0;
+    /** Memoized selections, summed over every session. Retained
+     * across eviction (selection()/refresh() answer from them), so
+     * this grows with workload count — but by O(selected intervals)
+     * per workload, not O(dispatches). */
+    uint64_t memoBytes = 0;
+    uint64_t planCacheBytes = 0;       //!< shared execution plans
+    uint64_t checkpointCacheBytes = 0; //!< adopted checkpoints
+    uint64_t artifactBytes = 0;        //!< cached replay outcomes
+    /** Decoded-block bytes the calling thread's trace-store cache
+     * holds for live stores. */
+    uint64_t traceCacheBytes = 0;
+    uint64_t totalBytes = 0; //!< sum of the above
 };
 
 /**
@@ -293,11 +450,31 @@ class ProfilingService
 
     ServiceStats stats() const;
 
+    /**
+     * Approximate resident bytes of the service: every session's
+     * state (WorkloadSession::memoryBytes) plus the three shared
+     * caches and the calling thread's trace-store decode cache.
+     * Logged at eviction decisions; the eviction tests assert it
+     * stays bounded as tenants accumulate.
+     */
+    ServiceFootprint memoryFootprint() const;
+
+    /** Directory evicted sessions archive to (catalog inside). */
+    const std::string &archiveDirectory() const { return archiveRoot; }
+
   private:
     struct Workload
     {
+        TenantId tenant = 0;
+        WorkloadId id = 0;
         cfl::Recording recording;
         std::unique_ptr<WorkloadSession> session;
+        /** Replay finished and every row is fed — the precondition
+         * for eviction. */
+        std::atomic<bool> drained{false};
+        /** LRU ticket (monotone service-wide counter, not wall
+         * time), refreshed on feed completion and refreshAll(). */
+        std::atomic<uint64_t> lastUse{0};
     };
 
     struct Tenant
@@ -311,17 +488,41 @@ class ProfilingService
     static void feedFromArtifact(WorkloadSession &session,
                                  const ReplayArtifact &artifact);
 
+    std::shared_ptr<const ReplayArtifact> findArtifact(uint64_t key);
+    void insertArtifact(uint64_t key,
+                        std::shared_ptr<const ReplayArtifact> artifact);
+
+    /** The archive catalog, created (with its directory) on first
+     * use. */
+    SessionArchive &archiveCatalog();
+
+    /** Evict drained sessions (LRU-first) until the resident-session
+     * and resident-byte budgets hold; no-op when unbounded. Called
+     * after every workload drains. */
+    void enforceBudget();
+
     ServiceConfig cfg;
     sched::ThreadPool &pool;
     sched::PoolHandle admission;
     gpu::SharedPlanCache plans;
     gpu::SharedCheckpointCache ckpts;
 
-    mutable std::mutex artifactMutex;
-    std::unordered_map<uint64_t, std::shared_ptr<const ReplayArtifact>>
-        artifacts;
+    /** Replay-artifact cache, striped like the gpu caches. */
+    struct ArtifactShard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<uint64_t,
+                           std::shared_ptr<const ReplayArtifact>>
+            map;
+    };
+    std::array<ArtifactShard, gpu::numCacheShards> artifactShards;
     std::atomic<uint64_t> replayCount{0};
     std::atomic<uint64_t> artifactHitCount{0};
+
+    std::string archiveRoot;
+    std::mutex archiveMutex;
+    std::unique_ptr<SessionArchive> archiveStore;
+    std::atomic<uint64_t> useTicket{1};
 
     mutable std::mutex mutex; //!< tenants + pending futures
     std::vector<std::unique_ptr<Tenant>> tenants;

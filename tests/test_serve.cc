@@ -20,6 +20,8 @@
 
 #include <thread>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "core/pipeline.hh"
@@ -626,6 +628,319 @@ TEST(ServeCaches, PlanCacheConcurrentLookupsAreExact)
     EXPECT_EQ(stats.builds, keys);
     // ...and every lookup is accounted for.
     EXPECT_EQ(stats.hits + stats.misses, threads * iters);
+}
+
+// ---------------------------------------------------------------
+// Session eviction, rehydration, and budget enforcement.
+
+/** Per-test archive directory under the gtest temp root, unique per
+ * process so stale catalogs from earlier runs never leak in. */
+std::string
+evictDir(const std::string &tag)
+{
+    return ::testing::TempDir() + "gt-serve-test-" +
+           std::to_string((long)::getpid()) + "-" + tag;
+}
+
+TEST(ServeEviction, EvictRehydrateMatchesNeverEvicted)
+{
+    // 250 = three evictions at 80/160/240, each followed by late
+    // dispatches that force a rehydrate mid-stream.
+    Inputs in = makeInputs(250);
+    sched::ThreadPool pool(1);
+    ServiceConfig cfg;
+    WorkloadSession session("synthetic", cfg, pool);
+    WorkloadSession oracle("synthetic", cfg, pool);
+    SessionArchive archive(evictDir("rehydrate"));
+    std::string path = archive.pathFor(0, 0, "synthetic");
+
+    uint64_t fed = 0;
+    uint64_t resident_before_evict = 0;
+    streamInputs(
+        in,
+        [&](const ocl::ApiCallRecord &c) {
+            session.observeCall(c);
+            oracle.observeCall(c);
+        },
+        [&](uint64_t d) {
+            session.addDispatch(in.profiles[d], in.timings[d]);
+            oracle.addDispatch(in.profiles[d], in.timings[d]);
+            if (++fed % 80 != 0)
+                return;
+            resident_before_evict = session.memoryBytes();
+            session.evict(path);
+            archive.record("synthetic", path, fed);
+            EXPECT_TRUE(session.isEvicted());
+            // Eviction reclaims the builder/feature/interval state.
+            EXPECT_LT(session.memoryBytes(),
+                      resident_before_evict / 4);
+        });
+
+    // The late dispatches after the last eviction rehydrated.
+    EXPECT_FALSE(session.isEvicted());
+    SessionStats stats = session.stats();
+    EXPECT_EQ(stats.evictions, 3u);
+    EXPECT_EQ(stats.rehydrations, 3u);
+
+    session.refresh();
+    oracle.refresh();
+    TraceDatabase want = oracle.sealDatabase();
+    expectSameDb(session.sealDatabase(), want);
+    for (size_t c = 0; c < cfg.selections.size(); ++c)
+        expectSameSelection(session.selection(c),
+                            oracle.selection(c));
+
+    // Sealing straight off the archive (no rehydrate) is the same
+    // database bitwise.
+    session.evict(path);
+    ASSERT_TRUE(session.isEvicted());
+    expectSameDb(session.sealDatabase(), want);
+    EXPECT_TRUE(session.isEvicted());
+    EXPECT_EQ(session.stats().rehydrations, 3u);
+}
+
+TEST(ServeEviction, EvictedSessionAnswersFromMemo)
+{
+    Inputs in = makeInputs(120);
+    sched::ThreadPool pool(1);
+    ServiceConfig cfg;
+    WorkloadSession session("synthetic", cfg, pool);
+    streamInputs(in,
+                 [&](const ocl::ApiCallRecord &c) {
+                     session.observeCall(c);
+                 },
+                 [&](uint64_t d) {
+                     session.addDispatch(in.profiles[d],
+                                         in.timings[d]);
+                 });
+    session.refresh();
+    std::vector<core::SubsetSelection> before;
+    for (size_t c = 0; c < cfg.selections.size(); ++c)
+        before.push_back(session.selection(c));
+
+    SessionArchive archive(evictDir("memo"));
+    std::string path = archive.pathFor(0, 0, "synthetic");
+    session.evict(path);
+    ASSERT_TRUE(session.isEvicted());
+    uint64_t reused_at_evict = session.stats().reusedSelections;
+
+    // No new dispatches: refresh() and selection() answer from the
+    // memo without touching the archive.
+    session.refresh();
+    EXPECT_TRUE(session.isEvicted());
+    SessionStats stats = session.stats();
+    EXPECT_EQ(stats.rehydrations, 0u);
+    EXPECT_EQ(stats.reusedSelections,
+              reused_at_evict + cfg.selections.size());
+    for (size_t c = 0; c < cfg.selections.size(); ++c)
+        expectSameSelection(session.selection(c), before[c]);
+
+    // Eviction is idempotent.
+    session.evict(path);
+    EXPECT_EQ(session.stats().evictions, 1u);
+    EXPECT_EQ(session.numDispatches(), in.profiles.size());
+}
+
+TEST(ServeEviction, ServiceThresholdSweepIsBitwise)
+{
+    const core::ProfiledApp &app = gaussianApp();
+    struct Budget
+    {
+        const char *tag;
+        size_t sessions;
+        uint64_t bytes;
+        bool onDrain;
+        bool evicts;
+    };
+    const Budget budgets[] = {
+        {"unbounded", SIZE_MAX, UINT64_MAX, false, false},
+        {"one-session", 1, UINT64_MAX, false, true},
+        {"zero-bytes", SIZE_MAX, 0, false, true},
+        {"on-drain", SIZE_MAX, UINT64_MAX, true, true},
+    };
+    const unsigned tenants = 3;
+
+    // Selections must be bitwise identical no matter which budget
+    // forced evictions along the way.
+    std::vector<std::vector<core::SubsetSelection>> want;
+    for (const Budget &budget : budgets) {
+        ServiceConfig cfg;
+        cfg.maxResidentSessions = budget.sessions;
+        cfg.maxResidentBytes = budget.bytes;
+        cfg.evictOnDrain = budget.onDrain;
+        cfg.archiveDir = evictDir(budget.tag);
+        ProfilingService service(cfg);
+
+        std::vector<ProfilingService::TenantId> ids;
+        for (unsigned t = 0; t < tenants; ++t) {
+            ids.push_back(
+                service.openTenant("t" + std::to_string(t)));
+            service.submit(ids.back(), app.name, app.recording);
+        }
+        service.drain();
+        service.refreshAll();
+
+        ServiceStats stats = service.stats();
+        if (budget.evicts) {
+            EXPECT_GT(stats.sessions.evictions, 0u) << budget.tag;
+            EXPECT_FALSE(
+                SessionArchive::readCatalog(cfg.archiveDir).empty())
+                << budget.tag;
+        } else {
+            EXPECT_EQ(stats.sessions.evictions, 0u) << budget.tag;
+        }
+
+        for (unsigned t = 0; t < tenants; ++t) {
+            WorkloadSession &session = service.session(ids[t], 0);
+            std::vector<core::SubsetSelection> got;
+            for (size_t c = 0; c < cfg.selections.size(); ++c)
+                got.push_back(session.selection(c));
+            if (want.size() <= t) {
+                want.push_back(std::move(got));
+                continue;
+            }
+            for (size_t c = 0; c < got.size(); ++c)
+                expectSameSelection(got[c], want[t][c]);
+        }
+    }
+}
+
+TEST(ServeEviction, ConcurrentSubmitWhileEvicting)
+{
+    const core::ProfiledApp &app = gaussianApp();
+    sched::ThreadPool pool(4);
+    ServiceConfig cfg;
+    cfg.pool = &pool;
+    cfg.evictOnDrain = true;
+    cfg.archiveDir = evictDir("concurrent");
+    ProfilingService service(cfg);
+
+    // Warm submissions feed inline on the submitting thread while
+    // earlier drains evict — the TSan-covered interleaving.
+    const unsigned threads = 4;
+    std::vector<ProfilingService::TenantId> ids;
+    for (unsigned t = 0; t < threads; ++t)
+        ids.push_back(service.openTenant("t" + std::to_string(t)));
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&service, &app, &ids, t]() {
+            service.submit(ids[t], app.name, app.recording);
+            service.submit(ids[t], app.name, app.recording);
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    service.drain();
+    service.refreshAll();
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.workloads, threads * 2u);
+    EXPECT_EQ(stats.replays + stats.artifactHits, threads * 2u);
+    EXPECT_GT(stats.sessions.evictions, 0u);
+
+    WorkloadSession &first = service.session(ids[0], 0);
+    for (unsigned t = 0; t < threads; ++t) {
+        for (ProfilingService::WorkloadId w = 0; w < 2; ++w) {
+            WorkloadSession &other = service.session(ids[t], w);
+            EXPECT_EQ(other.numDispatches(),
+                      first.numDispatches());
+            for (size_t c = 0; c < cfg.selections.size(); ++c)
+                expectSameSelection(other.selection(c),
+                                    first.selection(c));
+        }
+    }
+}
+
+TEST(ServeEviction, FootprintStaysBoundedUnderByteBudget)
+{
+    const core::ProfiledApp &app = gaussianApp();
+
+    // Measure one resident session to size the budget.
+    uint64_t one_session = 0;
+    {
+        ProfilingService probe;
+        auto tenant = probe.openTenant("probe");
+        probe.submit(tenant, app.name, app.recording);
+        probe.drain();
+        probe.refreshAll();
+        one_session = probe.session(tenant, 0).memoryBytes();
+        ASSERT_GT(one_session, 0u);
+
+        ServiceFootprint fp = probe.memoryFootprint();
+        EXPECT_GE(fp.sessionBytes, one_session);
+        EXPECT_GT(fp.memoBytes, 0u); // refreshed selections
+        EXPECT_EQ(fp.evictedResidueBytes, 0u); // nothing evicted
+        EXPECT_EQ(fp.totalBytes,
+                  fp.sessionBytes + fp.evictedResidueBytes +
+                      fp.memoBytes + fp.planCacheBytes +
+                      fp.checkpointCacheBytes + fp.artifactBytes +
+                      fp.traceCacheBytes);
+        EXPECT_GT(fp.planCacheBytes, 0u);
+        EXPECT_GT(fp.artifactBytes, 0u);
+    }
+
+    // A ~1.5-session budget: resident session bytes stay bounded no
+    // matter how many workloads accumulate (evicted sessions keep
+    // only their tiny memo/walk residue, allow one session of
+    // slack for it and the in-flight feed).
+    ServiceConfig cfg;
+    cfg.maxResidentBytes = one_session + one_session / 2;
+    cfg.archiveDir = evictDir("budget");
+    ProfilingService service(cfg);
+    auto tenant = service.openTenant("t0");
+    for (unsigned i = 0; i < 6; ++i) {
+        service.submit(tenant, app.name, app.recording);
+        service.drain();
+        ServiceFootprint fp = service.memoryFootprint();
+        EXPECT_LE(fp.sessionBytes,
+                  cfg.maxResidentBytes + one_session);
+    }
+    service.refreshAll();
+    EXPECT_GT(service.stats().sessions.evictions, 0u);
+    ServiceFootprint after = service.memoryFootprint();
+    EXPECT_GT(after.evictedResidueBytes, 0u);
+    EXPECT_LE(after.sessionBytes, cfg.maxResidentBytes + one_session);
+
+    WorkloadSession &first = service.session(tenant, 0);
+    for (ProfilingService::WorkloadId w = 1; w < 6; ++w) {
+        WorkloadSession &other = service.session(tenant, w);
+        for (size_t c = 0; c < cfg.selections.size(); ++c)
+            expectSameSelection(other.selection(c),
+                                first.selection(c));
+    }
+}
+
+TEST(ServeArchive, CatalogRoundTripsAcrossInstances)
+{
+    std::string dir = evictDir("catalog");
+    SessionArchive archive(dir);
+    EXPECT_TRUE(archive.entries().empty());
+
+    std::string p0 = archive.pathFor(0, 0, "alpha beta/1");
+    std::string p1 = archive.pathFor(1, 2, "gamma");
+    EXPECT_NE(p0, p1);
+    archive.record("alpha beta/1", p0, 10);
+    archive.record("gamma", p1, 20);
+    archive.record("alpha beta/1", p0, 30); // update, not duplicate
+
+    std::vector<SessionArchive::Entry> rows = archive.entries();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].workload, "alpha beta/1");
+    EXPECT_EQ(rows[0].dispatches, 30u);
+    EXPECT_EQ(rows[1].workload, "gamma");
+    EXPECT_EQ(rows[1].dispatches, 20u);
+
+    // A second instance over the same directory reads the catalog
+    // back field for field.
+    SessionArchive reopened(dir);
+    std::vector<SessionArchive::Entry> again = reopened.entries();
+    ASSERT_EQ(again.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(again[i].file, rows[i].file);
+        EXPECT_EQ(again[i].dispatches, rows[i].dispatches);
+        EXPECT_EQ(again[i].workload, rows[i].workload);
+    }
+    EXPECT_EQ(SessionArchive::readCatalog(dir).size(), rows.size());
 }
 
 TEST(ServeCaches, CheckpointCacheConcurrentLookupsAreExact)

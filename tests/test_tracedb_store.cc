@@ -337,6 +337,34 @@ TEST(TraceStore, FootprintShrinksAndIsAccounted)
     setLogQuiet(false);
 }
 
+TEST(TraceStore, ThreadCacheDropsSlotsOfDestroyedStores)
+{
+    setLogQuiet(true);
+    SyntheticTrace t = makeTrace(256, 16);
+    TraceDatabase live = buildFrom(t, TraceDbBackend::Columnar);
+    (void)live.profileAt(0);
+    uint64_t with_live = trace_store::threadCacheResidentBytes();
+    EXPECT_GT(with_live, 0u);
+
+    {
+        TraceDatabase dead = buildFrom(t, TraceDbBackend::Columnar);
+        (void)dead.profileAt(0);
+        (void)dead.profileAt(200);
+        // Two stores' decoded blocks coexist in this thread's cache.
+        EXPECT_GT(trace_store::threadCacheResidentBytes(),
+                  with_live);
+    }
+
+    // Destroying a store invalidates its slots; the surviving
+    // store's stay resident and serviceable.
+    EXPECT_EQ(trace_store::threadCacheResidentBytes(), with_live);
+    expectProfilesEqual(live.profileAt(100), t.profiles[100]);
+
+    TraceDatabase mem = buildFrom(t, TraceDbBackend::Mem);
+    expectDatabasesEqual(mem, live);
+    setLogQuiet(false);
+}
+
 TEST(TraceStore, ConcurrentReadersSeeIdenticalData)
 {
     setLogQuiet(true);
